@@ -1,0 +1,269 @@
+package trustedcvs
+
+import (
+	"fmt"
+	"time"
+
+	"trustedcvs/internal/adversary"
+	"trustedcvs/internal/broadcast"
+	"trustedcvs/internal/core/proto1"
+	"trustedcvs/internal/core/proto2"
+	"trustedcvs/internal/core/proto3"
+	"trustedcvs/internal/cvs"
+	"trustedcvs/internal/driver"
+	"trustedcvs/internal/forensics"
+	"trustedcvs/internal/server"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/transport"
+	"trustedcvs/internal/vdb"
+	"trustedcvs/internal/workspace"
+)
+
+// ClusterConfig configures a cluster: one untrusted server plus a
+// fixed user population.
+type ClusterConfig struct {
+	// Protocol selects Protocol I, II or III (default II).
+	Protocol Protocol
+	// Users is the population size (required, >= 1).
+	Users int
+	// SyncEvery is k, the synchronization period of Protocols I/II
+	// (default 16).
+	SyncEvery uint64
+	// MerkleOrder is the B+-tree branching factor (0 = default).
+	MerkleOrder int
+	// KeySeed seeds the deterministic demo key ring. Production
+	// deployments generate keys with crypto/rand out of band; the
+	// in-process cluster favors reproducibility.
+	KeySeed int64
+	// JournalCap enables per-user transition journals of this
+	// capacity (Protocols I/II) for post-detection fault localization
+	// — see Cluster.Forensics.
+	JournalCap int
+	// Malice makes the server misbehave (demos and tests).
+	Malice Malice
+	// Network, when true, runs the server, hub and clients over real
+	// TCP sockets on localhost instead of in-process transports.
+	Network bool
+}
+
+// Cluster is a ready-to-use deployment: an (optionally malicious)
+// server and n verified users. It is the embedding API the examples
+// and tests build on; cmd/tcvs-server and cmd/tcvs are the equivalent
+// standalone binaries.
+type Cluster struct {
+	cfg     ClusterConfig
+	srv     server.Server
+	tcp     *transport.Server
+	hub     *broadcast.Hub
+	tcpHub  *broadcast.HubServer
+	clients []*driver.Client
+	repos   []*cvs.Client
+}
+
+// NewLocalCluster builds a cluster per cfg.
+func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Users < 1 {
+		return nil, fmt.Errorf("trustedcvs: cluster needs at least one user")
+	}
+	if cfg.Protocol == 0 {
+		cfg.Protocol = ProtocolII
+	}
+	if cfg.SyncEvery == 0 {
+		cfg.SyncEvery = 16
+	}
+	if cfg.KeySeed == 0 {
+		cfg.KeySeed = 1
+	}
+	db := vdb.New(cfg.MerkleOrder)
+	signers, ring, err := sig.DeterministicSigners(cfg.Users, cfg.KeySeed)
+	if err != nil {
+		return nil, err
+	}
+
+	var honest server.Server
+	switch cfg.Protocol {
+	case ProtocolI:
+		honest = server.NewP1(db, proto1.Initialize(signers[0], db.Root()))
+	case ProtocolII:
+		honest = server.NewP2(db)
+	case ProtocolIII:
+		honest = server.NewP3(db)
+	default:
+		return nil, fmt.Errorf("trustedcvs: unknown protocol %v", cfg.Protocol)
+	}
+	srv := honest
+	if advCfg, err := cfg.Malice.config(); err != nil {
+		return nil, err
+	} else if advCfg != nil {
+		srv = adversary.Wrap(honest, *advCfg)
+	}
+
+	c := &Cluster{cfg: cfg, srv: srv}
+	handler := driver.NewHandler(srv, cvs.NewStore())
+
+	dial := func() (transport.Caller, error) { return transport.NewInproc(handler), nil }
+	join := func() (broadcast.Channel, error) { return c.localHub().Join(), nil }
+	if cfg.Network {
+		ts, err := transport.Listen("127.0.0.1:0", handler)
+		if err != nil {
+			return nil, err
+		}
+		c.tcp = ts
+		hs, err := broadcast.ListenHub("127.0.0.1:0")
+		if err != nil {
+			ts.Close()
+			return nil, err
+		}
+		c.tcpHub = hs
+		dial = func() (transport.Caller, error) { return transport.Dial(ts.Addr()) }
+		join = func() (broadcast.Channel, error) { return broadcast.DialHub(hs.Addr()) }
+	}
+
+	for i := 0; i < cfg.Users; i++ {
+		conn, err := dial()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		var dc *driver.Client
+		switch cfg.Protocol {
+		case ProtocolI:
+			bc, err := join()
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			u := proto1.NewUser(signers[i], ring, cfg.SyncEvery)
+			if cfg.JournalCap > 0 {
+				u.EnableJournal(cfg.JournalCap)
+			}
+			dc = driver.NewP1(u, conn, bc, cfg.Users)
+		case ProtocolII:
+			bc, err := join()
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			u := proto2.NewUser(sig.UserID(i), db.Root(), cfg.SyncEvery)
+			if cfg.JournalCap > 0 {
+				u.EnableJournal(cfg.JournalCap)
+			}
+			dc = driver.NewP2(u, conn, bc, cfg.Users)
+		case ProtocolIII:
+			dc = driver.NewP3(proto3.NewUser(signers[i], ring, db.Root()), conn)
+		}
+		c.clients = append(c.clients, dc)
+		c.repos = append(c.repos, cvs.NewClient(dc, dc, fmt.Sprintf("user%d", i), nil))
+	}
+	if cfg.Network {
+		// Give the TCP hub a beat to register every subscriber before
+		// any sync traffic flows.
+		time.Sleep(50 * time.Millisecond)
+	}
+	return c, nil
+}
+
+func (c *Cluster) localHub() *broadcast.Hub {
+	if c.hub == nil {
+		c.hub = broadcast.NewHub()
+	}
+	return c.hub
+}
+
+// Repo returns user i's verified CVS interface with the given author
+// name (see Repo's methods: Commit, Checkout, Log, ...).
+func (c *Cluster) Repo(i int, author string) *Repo {
+	dc := c.clients[i]
+	return &Repo{Client: cvs.NewClient(dc, dc, author, nil), driver: dc}
+}
+
+// Do executes one raw verified key-value operation as user i — the
+// outsourced-database usage of the paper's introduction.
+func (c *Cluster) Do(i int, op Op) (any, error) {
+	return c.clients[i].Do(op)
+}
+
+// WaitIdle blocks until user i has no synchronization round in flight,
+// returning any recorded detection.
+func (c *Cluster) WaitIdle(i int, timeout time.Duration) error {
+	return c.clients[i].WaitIdle(timeout)
+}
+
+// Err returns user i's recorded detection error, if any.
+func (c *Cluster) Err(i int) error { return c.clients[i].Err() }
+
+// AdvanceEpoch moves a Protocol III server into the next epoch (the
+// cluster owner stands in for the wall-clock timer).
+func (c *Cluster) AdvanceEpoch() { c.srv.AdvanceEpoch() }
+
+// Forensics pools every user's transition journal (ClusterConfig.
+// JournalCap must be set) and localizes the fault after a detection:
+// which operation slot was forged, which users sit on which branch.
+func (c *Cluster) Forensics() *ForensicsReport {
+	var js []*forensics.Journal
+	for _, cl := range c.clients {
+		if j := cl.Journal(); j != nil {
+			js = append(js, j)
+		}
+	}
+	if len(js) == 0 {
+		return nil
+	}
+	return forensics.Locate(js)
+}
+
+// ServerAddr returns the TCP server address (Network clusters only).
+func (c *Cluster) ServerAddr() string {
+	if c.tcp == nil {
+		return ""
+	}
+	return c.tcp.Addr()
+}
+
+// HubAddr returns the TCP hub address (Network clusters only).
+func (c *Cluster) HubAddr() string {
+	if c.tcpHub == nil {
+		return ""
+	}
+	return c.tcpHub.Addr()
+}
+
+// Close shuts down every client, the hub and the server.
+func (c *Cluster) Close() {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	if c.hub != nil {
+		c.hub.Close()
+	}
+	if c.tcpHub != nil {
+		c.tcpHub.Close()
+	}
+	if c.tcp != nil {
+		c.tcp.Close()
+	}
+}
+
+// Repo is the verified CVS interface of one user: all of cvs.Client's
+// methods (Commit, Checkout, CheckoutRev, CheckoutTag, Status, Log,
+// List, Tag) plus detection introspection.
+type Repo struct {
+	*cvs.Client
+	driver *driver.Client
+}
+
+// User returns the repo's protocol identity.
+func (r *Repo) User() UserID { return r.driver.ID() }
+
+// Workspace opens (or reopens) a verified working copy rooted at dir:
+// local files with tracked base revisions, `status`, three-way-merge
+// `update`, and atomic commits with up-to-date checks.
+func (r *Repo) Workspace(dir string) (*Workspace, error) {
+	return workspace.Open(dir, r.Client)
+}
+
+// Err returns the recorded detection error, if any.
+func (r *Repo) Err() error { return r.driver.Err() }
+
+// WaitIdle blocks until no synchronization round is in flight.
+func (r *Repo) WaitIdle(timeout time.Duration) error { return r.driver.WaitIdle(timeout) }

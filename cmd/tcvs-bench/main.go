@@ -1,0 +1,35 @@
+// Command tcvs-bench regenerates the experiment tables E1–E8 (see
+// DESIGN.md §2 for the mapping to the paper's figures, theorems and
+// design claims, and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	tcvs-bench            # run everything
+//	tcvs-bench -e E2      # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trustedcvs/internal/bench"
+)
+
+func main() {
+	var e = flag.String("e", "all", "experiment to run: E1..E8 or all")
+	flag.Parse()
+
+	if *e == "all" {
+		for _, t := range bench.All() {
+			t.Render(os.Stdout)
+		}
+		return
+	}
+	run, ok := bench.ByID(*e)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E8 or all)\n", *e)
+		os.Exit(2)
+	}
+	run().Render(os.Stdout)
+}

@@ -1,0 +1,214 @@
+// Command tcvs-server runs the (untrusted) Trusted CVS server: the
+// authenticated database, the content store, and — for demonstration —
+// any of the paper's malicious behaviors.
+//
+// It can also host the users' broadcast hub (-hub). In a real
+// deployment the hub belongs to the users, not the server; hosting it
+// here is a convenience for demos and changes nothing about the
+// security argument, because hub traffic is only ever *verified* by
+// users against each other's reports.
+//
+// Usage:
+//
+//	tcvs-server -addr :7070 -hub :7071 -proto 2
+//	tcvs-server -addr :7070 -proto 2 -behavior fork -trigger 5 -group-b 1,2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"trustedcvs/internal/adversary"
+	"trustedcvs/internal/broadcast"
+	"trustedcvs/internal/core/proto1"
+	"trustedcvs/internal/cvs"
+	"trustedcvs/internal/driver"
+	"trustedcvs/internal/server"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/transport"
+	"trustedcvs/internal/vdb"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "server listen address")
+		hubAddr  = flag.String("hub", "", "also host a broadcast hub on this address (demo convenience)")
+		proto    = flag.String("proto", "2", "protocol: 1, 2 or 3")
+		order    = flag.Int("order", 0, "Merkle branching factor (0 = default)")
+		users    = flag.Int("users", 8, "user population (key ring size, protocol 1 only)")
+		seed     = flag.Int64("seed", 1, "deterministic key seed shared with clients (protocol 1 only)")
+		epoch    = flag.Duration("epoch", 30*time.Second, "epoch length (protocol 3 only)")
+		behavior = flag.String("behavior", "honest", "malicious behavior: honest, fork, replay-stale, drop-update, tamper-answer, tamper-state, counter-replay, stall-epochs, withhold-backup")
+		trigger  = flag.Uint64("trigger", 0, "operation index at which the behavior activates")
+		groupB   = flag.String("group-b", "", "comma-separated user IDs served from the fork")
+		target   = flag.Uint("target", 0, "victim user for replay-stale / withhold-backup")
+		dataFile = flag.String("data", "", "persistence file (protocol 2 only): loaded at start, saved periodically")
+		saveIvl  = flag.Duration("save-interval", 30*time.Second, "how often to persist -data")
+	)
+	flag.Parse()
+
+	p, err := server.ParseProtocol(*proto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := vdb.New(*order)
+	var honest server.Server
+	var loadedStore *cvs.Store
+	switch p {
+	case server.P1:
+		signers, _, err := sig.DeterministicSigners(*users, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		honest = server.NewP1(db, proto1.Initialize(signers[0], db.Root()))
+	case server.P2:
+		if *dataFile != "" {
+			if f, err := os.Open(*dataFile); err == nil {
+				honest, loadedStore, err = server.LoadP2(f)
+				f.Close()
+				if err != nil {
+					log.Fatalf("load %s: %v", *dataFile, err)
+				}
+				log.Printf("restored state from %s: %d ops, root %s",
+					*dataFile, honest.DB().Ctr(), honest.DB().Root().Short())
+			} else if !os.IsNotExist(err) {
+				log.Fatal(err)
+			}
+		}
+		if honest == nil {
+			honest = server.NewP2(db)
+		}
+	case server.P3:
+		honest = server.NewP3(db)
+	}
+
+	srv := honest
+	if *behavior != "honest" {
+		cfg, err := parseBehavior(*behavior, *trigger, *groupB, sig.UserID(*target))
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = adversary.Wrap(honest, cfg)
+		log.Printf("WARNING: running MALICIOUSLY: %s (trigger op %d)", *behavior, *trigger)
+	}
+
+	if p == server.P3 {
+		go func() {
+			for range time.Tick(*epoch) {
+				srv.AdvanceEpoch()
+				log.Printf("epoch advanced to %d", srv.Epoch())
+			}
+		}()
+	}
+
+	store := loadedStore
+	if store == nil {
+		store = cvs.NewStore()
+	}
+	handler := driver.NewHandler(srv, store)
+	// Persistence and request handling share the protocol server;
+	// serialize them with one mutex (the transport already serializes
+	// requests among themselves).
+	var stateMu sync.Mutex
+	if *dataFile != "" && p == server.P2 && *behavior == "honest" {
+		inner := handler
+		handler = func(req any) (any, error) {
+			stateMu.Lock()
+			defer stateMu.Unlock()
+			return inner(req)
+		}
+		go func() {
+			for range time.Tick(*saveIvl) {
+				stateMu.Lock()
+				err := saveState(*dataFile, srv, store)
+				stateMu.Unlock()
+				if err != nil {
+					log.Printf("persist: %v", err)
+				}
+			}
+		}()
+	}
+	ts, err := transport.Listen(*addr, handler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("tcvs-server (%v) listening on %s", p, ts.Addr())
+
+	if *hubAddr != "" {
+		hub, err := broadcast.ListenHub(*hubAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("broadcast hub on %s", hub.Addr())
+	}
+	select {}
+}
+
+// saveState atomically persists the Protocol II server + store.
+func saveState(path string, srv server.Server, store *cvs.Store) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := server.SaveP2(f, srv, store); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func parseBehavior(name string, trigger uint64, groupB string, target sig.UserID) (adversary.Config, error) {
+	cfg := adversary.Config{TriggerOp: trigger, Target: target}
+	switch name {
+	case "fork":
+		cfg.Kind = adversary.Fork
+	case "replay-stale":
+		cfg.Kind = adversary.ReplayStale
+	case "drop-update":
+		cfg.Kind = adversary.DropUpdate
+	case "tamper-answer":
+		cfg.Kind = adversary.TamperAnswer
+	case "tamper-state":
+		cfg.Kind = adversary.TamperState
+		cfg.Key, cfg.Value = "planted-by-server", []byte("evil")
+	case "counter-replay":
+		cfg.Kind = adversary.CounterReplay
+	case "stall-epochs":
+		cfg.Kind = adversary.StallEpochs
+	case "withhold-backup":
+		cfg.Kind = adversary.WithholdBackup
+	default:
+		return cfg, fmt.Errorf("unknown behavior %q", name)
+	}
+	if cfg.Kind == adversary.Fork {
+		cfg.GroupB = map[sig.UserID]bool{}
+		for _, part := range strings.Split(groupB, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			id, err := strconv.ParseUint(part, 10, 32)
+			if err != nil {
+				return cfg, fmt.Errorf("bad -group-b entry %q: %v", part, err)
+			}
+			cfg.GroupB[sig.UserID(id)] = true
+		}
+		if len(cfg.GroupB) == 0 {
+			fmt.Fprintln(os.Stderr, "fork behavior needs -group-b")
+			os.Exit(2)
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,42 @@
+// Package trustedcvs is a from-scratch implementation of "Trusted
+// CVS" (Venkitasubramaniam, Machanavajjhala, Gehrke, Martin — ICDE
+// 2006): a CVS-style multi-user version control system hosted on an
+// UNTRUSTED server, in which the users themselves can detect any
+// integrity or availability violation — tampered data, dropped or
+// replayed updates, and forked ("partitioned") histories.
+//
+// The server keeps the repository in a Merkle B+-tree and must prove
+// every operation with a verification object; three protocols from the
+// paper layer fork detection on top:
+//
+//   - Protocol I: every database state is signed by the user that
+//     produced it; users synchronize counters over a broadcast channel
+//     every k operations. 3 messages/op, needs a PKI.
+//   - Protocol II: no per-operation signatures; each user keeps two
+//     XOR registers over user-tagged state hashes, and the sync check
+//     accepts iff all states form a single chain (Lemma 4.1).
+//     2 messages/op, no PKI.
+//   - Protocol III: no user-to-user communication at all; users store
+//     signed per-epoch register summaries on the server and a rotating
+//     auditor checks each epoch two epochs later. Requires every user
+//     to perform two operations per epoch; detects within two epochs.
+//
+// Quick start (in-process; see examples/ and cmd/ for networked use):
+//
+//	cluster, _ := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{
+//		Protocol: trustedcvs.ProtocolII, Users: 3, SyncEvery: 16,
+//	})
+//	defer cluster.Close()
+//	alice := cluster.Repo(0, "alice")
+//	alice.Commit(map[string][]byte{"README": []byte("hi\n")}, "import", nil)
+//	bob := cluster.Repo(1, "bob")
+//	files, _ := bob.Checkout("README") // verified end to end
+//	_ = files
+//
+// Every error of type *DetectionError means the server has provably
+// deviated; per the paper, the detecting user stops using the server
+// and alerts the others out of band.
+//
+// See DESIGN.md for the architecture and the paper-to-package map, and
+// EXPERIMENTS.md for the reproduced evaluation (experiments E1–E8).
+package trustedcvs

@@ -1,0 +1,162 @@
+package trustedcvs_test
+
+// Testable godoc examples for the public API. They run as part of the
+// test suite, so the documentation can never drift from the code.
+
+import (
+	"fmt"
+	"log"
+
+	"trustedcvs"
+)
+
+// Example shows the core loop: verified commits and checkouts against
+// an untrusted server.
+func Example() {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{
+		Protocol:  trustedcvs.ProtocolII,
+		Users:     2,
+		SyncEvery: 16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	alice := cluster.Repo(0, "alice")
+	bob := cluster.Repo(1, "bob")
+
+	if _, err := alice.Commit(map[string][]byte{"README": []byte("hello\n")}, "import", nil); err != nil {
+		log.Fatal(err)
+	}
+	files, err := bob.Checkout("README")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s", files["README"])
+	// Output: hello
+}
+
+// ExampleAsDetection shows how a proven server deviation surfaces: the
+// server forges an answer and the very next verification fails with a
+// DetectionError naming the check that caught it.
+func ExampleAsDetection() {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{
+		Users:  1,
+		Malice: trustedcvs.Malice{Behavior: "tamper-answer", TriggerOp: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	repo := cluster.Repo(0, "alice")
+	if _, err := repo.Commit(map[string][]byte{"f": []byte("x\n")}, "", nil); err != nil {
+		log.Fatal(err)
+	}
+	_, err = repo.Checkout("f") // op 2: the server lies
+	if de, ok := trustedcvs.AsDetection(err); ok {
+		fmt.Println("deviation class:", de.Class)
+	}
+	// Output: deviation class: answer-mismatch
+}
+
+// ExampleCluster_Do shows the raw key-value interface — the paper's
+// outsourced-database model.
+func ExampleCluster_Do() {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{Users: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	if _, err := cluster.Do(0, &trustedcvs.WriteOp{
+		Puts: []trustedcvs.KV{{Key: "stock/widgets", Val: []byte("42")}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	ans, err := cluster.Do(1, &trustedcvs.ReadOp{Keys: []string{"stock/widgets"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s", ans.(trustedcvs.ReadAnswer).Results[0].Val)
+	// Output: 42
+}
+
+// ExampleCASOp shows a verified distributed lock on the untrusted
+// server: the compare-and-swap's conditional is replayed by the
+// verifier, so the vendor cannot lie about who holds the lock.
+func ExampleCASOp() {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{Users: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	acquire := func(user int, who string) bool {
+		ans, err := cluster.Do(user, &trustedcvs.CASOp{Key: "leader-lock", New: []byte(who)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ans.(trustedcvs.CASAnswer).Swapped
+	}
+	fmt.Println("alice acquires:", acquire(0, "alice"))
+	fmt.Println("bob acquires:", acquire(1, "bob"))
+	// Output:
+	// alice acquires: true
+	// bob acquires: false
+}
+
+// ExampleRepo_Annotate shows verified per-line blame.
+func ExampleRepo_Annotate() {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{Users: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	alice := cluster.Repo(0, "alice")
+	bob := cluster.Repo(1, "bob")
+	if _, err := alice.Commit(map[string][]byte{"f": []byte("one\ntwo\n")}, "", nil); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bob.Commit(map[string][]byte{"f": []byte("one\nTWO\n")}, "", nil); err != nil {
+		log.Fatal(err)
+	}
+	origins, err := alice.Annotate("f")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range origins {
+		fmt.Printf("rev %d (%s): %s", o.Rev, o.Author, o.Line)
+	}
+	// Output:
+	// rev 1 (alice): one
+	// rev 2 (bob): TWO
+}
+
+// ExampleRepo_Diff shows a verified diff between two revisions.
+func ExampleRepo_Diff() {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{Users: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	repo := cluster.Repo(0, "alice")
+	if _, err := repo.Commit(map[string][]byte{"f": []byte("a\nb\n")}, "", nil); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := repo.Commit(map[string][]byte{"f": []byte("a\nc\n")}, "", nil); err != nil {
+		log.Fatal(err)
+	}
+	patch, err := repo.Diff("f", 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(patch.String())
+	// Output:
+	// =a
+	// -b
+	// +c
+}

@@ -1,0 +1,100 @@
+// Partition attack: an end-to-end reproduction of Figure 1. A US
+// programmer and a Chinese programmer share a repository; the
+// malicious server forks the repository so that the Chinese side never
+// learns about the US side's change to Common.h — and every individual
+// operation still verifies perfectly on both sides. The attack
+// survives exactly until the users synchronize over their broadcast
+// channel (Theorem 3.1: without that channel it would survive
+// forever).
+//
+// Run with: go run ./examples/partition-attack
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"trustedcvs"
+)
+
+func main() {
+	// The server forks just before operation 3 (the US commit of
+	// Common.h), serving user 1 (China) from the pre-commit state.
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{
+		Protocol:  trustedcvs.ProtocolII,
+		Users:     2,
+		SyncEvery: 6,
+		Malice: trustedcvs.Malice{
+			Behavior:  "fork",
+			TriggerOp: 3,
+			GroupB:    []trustedcvs.UserID{1},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	us := cluster.Repo(0, "us-dev")
+	cn := cluster.Repo(1, "cn-dev")
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Ops 1-2: both programmers seed their areas (shared history).
+	_, err = us.Commit(map[string][]byte{"us/main.c": []byte("int main(){}\n")}, "us skeleton", nil)
+	must(err)
+	_, err = cn.Commit(map[string][]byte{"cn/driver.c": []byte("void drive(){}\n")}, "cn skeleton", nil)
+	must(err)
+
+	// Op 3 = t1: the US programmer changes the shared header and goes
+	// offline. The server forks HERE.
+	_, err = us.Commit(map[string][]byte{"Common.h": []byte("#define PROTOCOL_VERSION 2\n")}, "bump protocol version", nil)
+	must(err)
+	fmt.Println("us-dev committed Common.h (t1) — fully verified — and went offline")
+
+	// Op 4 = t2: the Chinese programmer looks for Common.h. On the
+	// fork it does not exist — and the server PROVES its absence.
+	_, err = cn.Checkout("Common.h")
+	if !errors.Is(err, trustedcvs.ErrNoFile) {
+		log.Fatalf("expected a proven absence, got %v", err)
+	}
+	fmt.Println("cn-dev checkout Common.h: proven absent (the fork hides t1 with a valid proof!)")
+
+	// The Chinese programmer keeps working, every operation verified.
+	for i := 0; i < 2; i++ {
+		_, err := cn.Commit(map[string][]byte{"cn/util.c": []byte(fmt.Sprintf("int util_%d;\n", i))}, "cn work", nil)
+		must(err)
+		fmt.Printf("cn-dev commit %d verified fine (still inside the partition)\n", i+1)
+	}
+
+	// The US programmer comes back; work continues until someone's
+	// k-th operation triggers the synchronization round.
+	fmt.Println("\nus-dev back online; operations continue until a sync-up triggers...")
+	var detection error
+	for i := 0; detection == nil && i < 20; i++ {
+		_, err := us.Commit(map[string][]byte{"us/main.c": []byte(fmt.Sprintf("int main(){return %d;}\n", i))}, "us work", nil)
+		if err != nil {
+			detection = err
+			break
+		}
+		if err := us.WaitIdle(5 * time.Second); err != nil {
+			detection = err
+			break
+		}
+		if err := cn.Err(); err != nil {
+			detection = err
+			break
+		}
+	}
+	de, ok := trustedcvs.AsDetection(detection)
+	if !ok {
+		log.Fatalf("partition was not detected: %v", detection)
+	}
+	fmt.Printf("\nDETECTED at synchronization: %v\n", de)
+	fmt.Println("the XOR registers of the two partitions do not close a single state chain (Lemma 4.1)")
+}

@@ -1,0 +1,75 @@
+// Quickstart: three users share a CVS repository hosted on an
+// untrusted server, commit and check out files under Protocol II, and
+// then watch the protocol catch the server lying about an answer.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trustedcvs"
+)
+
+func main() {
+	// One untrusted server, three users. The server will start
+	// tampering with answers from its 8th operation on.
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{
+		Protocol:  trustedcvs.ProtocolII,
+		Users:     3,
+		SyncEvery: 16,
+		Malice:    trustedcvs.Malice{Behavior: "tamper-answer", TriggerOp: 8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	alice := cluster.Repo(0, "alice")
+	bob := cluster.Repo(1, "bob")
+	carol := cluster.Repo(2, "carol")
+
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Normal verified CVS usage.
+	_, err = alice.Commit(map[string][]byte{
+		"README":      []byte("Trusted CVS quickstart\n"),
+		"src/main.go": []byte("package main\n\nfunc main() {}\n"),
+	}, "initial import", nil)
+	must(err)
+	fmt.Println("alice committed README and src/main.go (server proved both writes)")
+
+	got, err := bob.Checkout("README")
+	must(err)
+	fmt.Printf("bob checked out README: %q (content hash verified)\n", got["README"])
+
+	_, err = carol.Commit(map[string][]byte{"README": []byte("Trusted CVS quickstart — edited by carol\n")}, "edit", nil)
+	must(err)
+
+	history, err := alice.Log("README")
+	must(err)
+	fmt.Printf("alice sees %d authenticated revisions of README; head by %s\n", len(history), history[0].Author)
+
+	// The server begins tampering; the very first forged answer is
+	// caught during verification.
+	fmt.Println("\n(server begins tampering with answers...)")
+	users := []*trustedcvs.Repo{alice, bob, carol}
+	for i := 0; ; i++ {
+		_, err := users[i%3].Checkout("README")
+		if err != nil {
+			de, ok := trustedcvs.AsDetection(err)
+			if !ok {
+				log.Fatalf("unexpected error: %v", err)
+			}
+			fmt.Printf("DETECTED: %v\n", de)
+			fmt.Println("the detecting user now leaves the server and alerts the others (Section 2.2.1)")
+			return
+		}
+		fmt.Printf("checkout %d verified fine\n", i+1)
+	}
+}

@@ -1,0 +1,93 @@
+// Workspace: the verified working-copy workflow — two developers with
+// real sandbox directories on disk, editing the same file from the
+// same base revision. The loser of the commit race runs `update`,
+// gets a verified three-way merge, and lands on top. Every byte that
+// reaches either sandbox was proven by the untrusted server.
+//
+// Run with: go run ./examples/workspace
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"trustedcvs"
+)
+
+func main() {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{Users: 2, SyncEvery: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	alice := cluster.Repo(0, "alice")
+	bob := cluster.Repo(1, "bob")
+
+	dirA, err := os.MkdirTemp("", "tcvs-alice-*")
+	must(err)
+	dirB, err := os.MkdirTemp("", "tcvs-bob-*")
+	must(err)
+	defer os.RemoveAll(dirA)
+	defer os.RemoveAll(dirB)
+
+	// Alice seeds the project from her sandbox.
+	wsA, err := alice.Workspace(dirA)
+	must(err)
+	must(os.WriteFile(filepath.Join(dirA, "design.md"), []byte("# Design\n\ngoals\n\nnon-goals\n"), 0o644))
+	must(wsA.Add("design.md"))
+	_, err = wsA.Commit("import design doc")
+	must(err)
+	fmt.Println("alice imported design.md (revision 1, proven by the server)")
+
+	// Bob checks out into his own sandbox.
+	wsB, err := bob.Workspace(dirB)
+	must(err)
+	must(wsB.CheckoutAll(""))
+	fmt.Printf("bob's sandbox %s tracks %v\n", dirB, wsB.Tracked())
+
+	// Both edit revision 1: alice expands the goals, bob the
+	// non-goals. Alice commits first.
+	must(os.WriteFile(filepath.Join(dirA, "design.md"),
+		[]byte("# Design\n\ngoals\n- verify every byte\n\nnon-goals\n"), 0o644))
+	_, err = wsA.Commit("flesh out goals")
+	must(err)
+
+	must(os.WriteFile(filepath.Join(dirB, "design.md"),
+		[]byte("# Design\n\ngoals\n\nnon-goals\n- trusting the server\n"), 0o644))
+
+	// Bob's status shows the problem; update merges alice's work in.
+	states, err := wsB.Status()
+	must(err)
+	fmt.Printf("bob's status: modified=%v needs-update=%v\n", states[0].Modified, states[0].OutOfDate)
+
+	reports, err := wsB.Update()
+	must(err)
+	fmt.Printf("bob's update: %s (conflicts: %d)\n", reports[0].Action, reports[0].Conflicts)
+
+	_, err = wsB.Commit("flesh out non-goals")
+	must(err)
+
+	// Alice refreshes and reads the combined document.
+	_, err = wsA.Update()
+	must(err)
+	final, err := os.ReadFile(filepath.Join(dirA, "design.md"))
+	must(err)
+	fmt.Printf("\nfinal design.md (both edits, all verified):\n%s", final)
+
+	// Blame proves who wrote what.
+	origins, err := alice.Annotate("design.md")
+	must(err)
+	fmt.Println("\nblame:")
+	for _, o := range origins {
+		fmt.Printf("  rev %d %-6s %s", o.Rev, o.Author, o.Line)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package trustedcvs_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"trustedcvs"
+)
+
+// TestClusterForensics exercises the public fault-localization path:
+// a forked cluster with journals enabled detects at sync, and
+// Forensics pinpoints the forged slot and the branch membership.
+func TestClusterForensics(t *testing.T) {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{
+		Protocol: trustedcvs.ProtocolII, Users: 2, SyncEvery: 3, JournalCap: 128,
+		Malice: trustedcvs.Malice{Behavior: "fork", TriggerOp: 2, GroupB: []trustedcvs.UserID{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	var detection error
+	for i := 0; detection == nil && i < 20; i++ {
+		for u := 0; u < 2; u++ {
+			if _, err := cluster.Repo(u, "dev").Commit(map[string][]byte{"f": []byte(fmt.Sprintf("u%d-%d\n", u, i))}, "", nil); err != nil {
+				detection = err
+				break
+			}
+		}
+		if detection == nil {
+			for u := 0; u < 2; u++ {
+				if err := cluster.WaitIdle(u, 5*time.Second); err != nil {
+					detection = err
+					break
+				}
+			}
+		}
+	}
+	if _, ok := trustedcvs.AsDetection(detection); !ok {
+		t.Fatalf("fork not detected: %v", detection)
+	}
+	rep := cluster.Forensics()
+	if rep == nil || !rep.Located {
+		t.Fatalf("fault not localized: %+v", rep)
+	}
+	if rep.ForkCtr != 2 {
+		t.Fatalf("fork located at ctr %d, want 2 (%s)", rep.ForkCtr, rep)
+	}
+	if len(rep.Branches) != 2 {
+		t.Fatalf("branches: %s", rep)
+	}
+}
+
+// TestClusterForensicsDisabled: without journals, Forensics returns
+// nil rather than a bogus report.
+func TestClusterForensicsDisabled(t *testing.T) {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{Users: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if rep := cluster.Forensics(); rep != nil {
+		t.Fatalf("forensics without journals: %+v", rep)
+	}
+}

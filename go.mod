@@ -1,0 +1,3 @@
+module trustedcvs
+
+go 1.22

@@ -1,0 +1,191 @@
+// Package baseline implements the two comparison points of the paper's
+// evaluation story:
+//
+//   - Unverified: the trusted-server execution model — no verification
+//     objects, no signatures. The performance floor for experiment E7.
+//
+//   - TokenPassing: the strawman of Section 2.2.3 — the single-user
+//     authenticated-publishing scheme extended to multiple users by
+//     forcing updates "only at pre-specified time points and only in a
+//     pre-specified order", token-passing style, with a signed null
+//     record when a user has nothing to do. It detects deviations but
+//     drastically violates workload preservation: a user wanting two
+//     back-to-back operations must wait for every other user's turn
+//     (experiment E6).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/digest"
+	"trustedcvs/internal/merkle"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/vdb"
+)
+
+// Unverified is a Doer that applies operations with no verification —
+// exactly what a client of a *trusted* CVS server does.
+type Unverified struct {
+	db *vdb.DB
+}
+
+// NewUnverified wraps db.
+func NewUnverified(db *vdb.DB) *Unverified { return &Unverified{db: db} }
+
+// Do implements the Doer pattern.
+func (u *Unverified) Do(op vdb.Op) (any, error) {
+	ansBytes, err := u.db.ApplyPlain(op)
+	if err != nil {
+		return nil, err
+	}
+	return vdb.DecodeAnswer(ansBytes)
+}
+
+// TokenServer is the untrusted server of the token-passing scheme. It
+// stores the full turn log; users replay and verify the suffix they
+// missed when their turn comes around.
+type TokenServer struct {
+	db  *vdb.DB
+	log []*storedTurn
+}
+
+// storedTurn is one turn as stored on the server: the operation
+// performed (possibly a NopOp), its answer and VO, and the acting
+// user's signature over the resulting state h(M(D′)‖seq).
+type storedTurn struct {
+	seq    uint64
+	user   sig.UserID
+	op     vdb.Op
+	answer []byte
+	vo     *merkle.VO
+	sig    sig.Signature
+}
+
+// NewTokenServer wraps db for token passing.
+func NewTokenServer(db *vdb.DB) *TokenServer { return &TokenServer{db: db} }
+
+// Turn applies the operation of the scheduled user, appends the signed
+// record, and returns the answer bytes plus the record sequence.
+func (s *TokenServer) Turn(user sig.UserID, op vdb.Op, signTurn func(newRoot digest.Digest, seq uint64) sig.Signature) ([]byte, uint64, error) {
+	seq := uint64(len(s.log)) + 1
+	ans, vo, err := s.db.Apply(op)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.log = append(s.log, &storedTurn{
+		seq:    seq,
+		user:   user,
+		op:     op,
+		answer: ans,
+		vo:     vo,
+		sig:    signTurn(s.db.Root(), seq),
+	})
+	return ans, seq, nil
+}
+
+// Since returns the stored turns with sequence > cursor.
+func (s *TokenServer) Since(cursor uint64) []*storedTurn {
+	if cursor >= uint64(len(s.log)) {
+		return nil
+	}
+	return s.log[cursor:]
+}
+
+// TokenUser is one participant of the token-passing scheme. Its state
+// is its trusted root plus a log cursor.
+type TokenUser struct {
+	signer *sig.Signer
+	ring   *sig.Ring
+	users  []sig.UserID
+	root   digest.Digest
+	cursor uint64
+	turns  uint64
+}
+
+// NewTokenUser creates a participant. initialRoot is common knowledge.
+func NewTokenUser(signer *sig.Signer, ring *sig.Ring, initialRoot digest.Digest) *TokenUser {
+	return &TokenUser{signer: signer, ring: ring, users: ring.Users(), root: initialRoot}
+}
+
+// ID returns the user's identity.
+func (u *TokenUser) ID() sig.UserID { return u.signer.ID() }
+
+// ScheduledUser returns whose turn a given sequence number is: turns
+// cycle through the users in ID order.
+func (u *TokenUser) ScheduledUser(seq uint64) sig.UserID {
+	return u.users[int((seq-1)%uint64(len(u.users)))]
+}
+
+// TakeTurn catches up on the log (verifying every intermediate turn's
+// signature and VO against the chained root) and then performs op —
+// which must be this user's scheduled slot. op may be nil, in which
+// case a NopOp ("a signature of a null message") is stored.
+func (u *TokenUser) TakeTurn(srv *TokenServer, op vdb.Op) (any, error) {
+	if err := u.CatchUp(srv); err != nil {
+		return nil, err
+	}
+	next := uint64(len(srv.log)) + 1
+	if sched := u.ScheduledUser(next); sched != u.ID() {
+		return nil, fmt.Errorf("baseline: turn %d belongs to %v, not %v", next, sched, u.ID())
+	}
+	if op == nil {
+		op = &vdb.NopOp{}
+	}
+	ans, seq, err := srv.Turn(u.ID(), op, func(newRoot digest.Digest, seq uint64) sig.Signature {
+		return u.signer.Sign(core.StateHash(newRoot, seq))
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Verify own turn like any other.
+	if err := u.verifyTurn(srv.log[seq-1]); err != nil {
+		return nil, err
+	}
+	u.turns++
+	return vdb.DecodeAnswer(ans)
+}
+
+// CatchUp verifies all turns this user has not yet seen.
+func (u *TokenUser) CatchUp(srv *TokenServer) error {
+	for _, turn := range srv.Since(u.cursor) {
+		if err := u.verifyTurn(turn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyTurn checks one stored turn against the user's chained root:
+// the VO must extend u.root, the answer must replay, the scheduled
+// user must match, and the signature must cover the new state.
+func (u *TokenUser) verifyTurn(turn *storedTurn) error {
+	fail := func(class core.DetectionClass, err error) error {
+		return core.Detect(class, u.ID(), u.turns, err)
+	}
+	if turn.seq != u.cursor+1 {
+		return fail(core.ProtocolViolation, fmt.Errorf("turn %d after cursor %d", turn.seq, u.cursor))
+	}
+	if sched := u.ScheduledUser(turn.seq); sched != turn.user {
+		return fail(core.ProtocolViolation, fmt.Errorf("turn %d by %v, scheduled %v", turn.seq, turn.user, sched))
+	}
+	newRoot, err := vdb.Verify(turn.op, turn.answer, turn.vo, u.root)
+	if err != nil {
+		if errors.Is(err, vdb.ErrAnswerMismatch) {
+			return fail(core.BadAnswer, err)
+		}
+		return fail(core.BadVO, err)
+	}
+	if err := u.ring.Verify(turn.user, core.StateHash(newRoot, turn.seq), turn.sig); err != nil {
+		return fail(core.BadSignature, err)
+	}
+	u.root = newRoot
+	u.cursor = turn.seq
+	return nil
+}
+
+// WaitForSecondOp returns how many turns a user must sit through
+// between two of its own operations: the full cycle of other users —
+// the workload-preservation violation of Section 2.2.3.
+func WaitForSecondOp(nUsers int) int { return nUsers - 1 }

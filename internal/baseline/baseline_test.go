@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/vdb"
+)
+
+func put(k, v string) vdb.Op { return &vdb.WriteOp{Puts: []vdb.KV{{Key: k, Val: []byte(v)}}} }
+func get(k string) vdb.Op    { return &vdb.ReadOp{Keys: []string{k}} }
+
+func TestUnverified(t *testing.T) {
+	db := vdb.New(0)
+	u := NewUnverified(db)
+	if _, err := u.Do(put("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := u.Do(get("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra := ans.(vdb.ReadAnswer); string(ra.Results[0].Val) != "1" {
+		t.Fatalf("read: %+v", ra)
+	}
+	if db.Ctr() != 2 {
+		t.Fatalf("ctr = %d", db.Ctr())
+	}
+}
+
+func tokenSetup(t *testing.T, n int) (*TokenServer, []*TokenUser) {
+	t.Helper()
+	signers, ring, err := sig.DeterministicSigners(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := vdb.New(0)
+	srv := NewTokenServer(db)
+	users := make([]*TokenUser, n)
+	for i := range users {
+		users[i] = NewTokenUser(signers[i], ring, db.Root())
+	}
+	return srv, users
+}
+
+func TestTokenPassingHonest(t *testing.T) {
+	srv, users := tokenSetup(t, 3)
+	// Three full cycles; user 0 writes, others pass null turns or read.
+	for cycle := 0; cycle < 3; cycle++ {
+		if _, err := users[0].TakeTurn(srv, put("f", fmt.Sprintf("v%d", cycle))); err != nil {
+			t.Fatalf("cycle %d user 0: %v", cycle, err)
+		}
+		if _, err := users[1].TakeTurn(srv, nil); err != nil {
+			t.Fatalf("cycle %d user 1: %v", cycle, err)
+		}
+		ans, err := users[2].TakeTurn(srv, get("f"))
+		if err != nil {
+			t.Fatalf("cycle %d user 2: %v", cycle, err)
+		}
+		if ra := ans.(vdb.ReadAnswer); string(ra.Results[0].Val) != fmt.Sprintf("v%d", cycle) {
+			t.Fatalf("cycle %d read: %+v", cycle, ra)
+		}
+	}
+}
+
+func TestTokenPassingOutOfTurnRejected(t *testing.T) {
+	srv, users := tokenSetup(t, 3)
+	if _, err := users[1].TakeTurn(srv, put("a", "1")); err == nil {
+		t.Fatal("user 1 must not act on user 0's turn")
+	}
+}
+
+func TestTokenPassingBackToBackCostsFullCycle(t *testing.T) {
+	// The workload-preservation violation: for user 0 to perform two
+	// operations, every other user must take a turn in between.
+	srv, users := tokenSetup(t, 4)
+	if _, err := users[0].TakeTurn(srv, put("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately again: rejected.
+	if _, err := users[0].TakeTurn(srv, put("a", "2")); err == nil {
+		t.Fatal("back-to-back turn must be rejected")
+	}
+	waits := 0
+	for u := 1; u < 4; u++ {
+		if _, err := users[u].TakeTurn(srv, nil); err != nil {
+			t.Fatal(err)
+		}
+		waits++
+	}
+	if waits != WaitForSecondOp(4) {
+		t.Fatalf("waited %d turns, model says %d", waits, WaitForSecondOp(4))
+	}
+	if _, err := users[0].TakeTurn(srv, put("a", "2")); err != nil {
+		t.Fatalf("after full cycle: %v", err)
+	}
+}
+
+func TestTokenPassingDetectsTamper(t *testing.T) {
+	srv, users := tokenSetup(t, 2)
+	if _, err := users[0].TakeTurn(srv, put("a", "true")); err != nil {
+		t.Fatal(err)
+	}
+	// Server tampers with the stored answer of turn 1 before user 1
+	// catches up.
+	forged, _ := vdb.EncodeAnswer(vdb.WriteAnswer{Put: 99})
+	srv.log[0].answer = forged
+	err := users[1].CatchUp(srv)
+	if de, ok := core.AsDetection(err); !ok || de.Class != core.BadAnswer {
+		t.Fatalf("want BadAnswer, got %v", err)
+	}
+}
+
+func TestTokenPassingDetectsDroppedTurn(t *testing.T) {
+	srv, users := tokenSetup(t, 2)
+	if _, err := users[0].TakeTurn(srv, put("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := users[1].TakeTurn(srv, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Server silently drops turn 2 from the log it shows user 0.
+	srv.log = srv.log[:1]
+	// User 0's next turn: it expects seq 2 to be its... turn 3 is
+	// user 0's (cycle of 2). With turn 2 dropped, the server's next
+	// seq is 2, which is scheduled for user 1 — user 0 cannot act, and
+	// the schedule mismatch surfaces immediately.
+	if _, err := users[0].TakeTurn(srv, put("a", "2")); err == nil {
+		t.Fatal("dropped turn must break the schedule")
+	}
+}
+
+func TestTokenPassingDetectsBadSignature(t *testing.T) {
+	srv, users := tokenSetup(t, 2)
+	if _, err := users[0].TakeTurn(srv, put("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	srv.log[0].sig[0] ^= 0xFF
+	err := users[1].CatchUp(srv)
+	if de, ok := core.AsDetection(err); !ok || de.Class != core.BadSignature {
+		t.Fatalf("want BadSignature, got %v", err)
+	}
+}

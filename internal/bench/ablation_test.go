@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE9Shape(t *testing.T) {
+	tab := E9()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// Height must fall (weakly) as order grows; VO digests at order 64
+	// must exceed those at order 4 (wider nodes, more sibling hashes
+	// per level won't compensate the... they grow), and wire bytes at
+	// the extremes must exceed the moderate-order minimum.
+	prevHeight := 1 << 30
+	var minBytes, bytes3, bytes64 int
+	for i, row := range tab.Rows {
+		h := atoiCell(t, row[1])
+		if h > prevHeight {
+			t.Fatalf("height increased with order at row %d: %v", i, row)
+		}
+		prevHeight = h
+		b := atoiCell(t, row[3])
+		if minBytes == 0 || b < minBytes {
+			minBytes = b
+		}
+		if row[0] == "3" {
+			bytes3 = b
+		}
+		if row[0] == "64" {
+			bytes64 = b
+		}
+	}
+	if bytes64 <= minBytes {
+		t.Fatalf("order 64 should not be the byte minimum (%d vs min %d)", bytes64, minBytes)
+	}
+	_ = bytes3
+}
+
+func TestE10Shape(t *testing.T) {
+	tab := E10()
+	prevTraffic := 1e18
+	for i, row := range tab.Rows {
+		if row[5] != "yes" {
+			t.Fatalf("row %d: k-bound failed: %v", i, row)
+		}
+		traffic := parseFloat(t, row[1])
+		if traffic > prevTraffic {
+			t.Fatalf("row %d: broadcast traffic should fall with k: %v", i, row)
+		}
+		prevTraffic = traffic
+	}
+	// Worst delay at the largest k must exceed worst at k=1.
+	if atoiCell(t, tab.Rows[len(tab.Rows)-1][4]) <= atoiCell(t, tab.Rows[0][4]) {
+		t.Fatal("detection delay should grow with k")
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	tab := E11()
+	prevPerFile := 1 << 62
+	for i, row := range tab.Rows {
+		perFile := atoiCell(t, row[2])
+		if perFile > prevPerFile {
+			t.Fatalf("row %d: bytes/file should fall with batch size: %v", i, row)
+		}
+		prevPerFile = perFile
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	tab := E12()
+	for i, row := range tab.Rows {
+		if !strings.HasSuffix(row[2], "/10") || row[2][0] != '1' {
+			t.Fatalf("row %d: detection must be 10/10: %v", i, row)
+		}
+		if row[0] == "0" {
+			if row[3] != "0/10" {
+				t.Fatalf("cap 0 cannot localize: %v", row)
+			}
+			continue
+		}
+		if row[3] != "10/10" || row[4] != "10/10" {
+			t.Fatalf("row %d: journals should localize exactly: %v", i, row)
+		}
+	}
+}
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	var f float64
+	var frac float64 = 1
+	inFrac := false
+	for _, r := range s {
+		switch {
+		case r == '.':
+			inFrac = true
+		case r >= '0' && r <= '9':
+			if inFrac {
+				frac /= 10
+				f += float64(r-'0') * frac
+			} else {
+				f = f*10 + float64(r-'0')
+			}
+		default:
+			t.Fatalf("cell %q is not a number", s)
+		}
+	}
+	return f
+}

@@ -1,0 +1,269 @@
+// Package broadcast implements the reliable broadcast channel among
+// users that Protocols I and II assume for their synchronization step
+// — the "external communication" Theorem 3.1 proves necessary. Two
+// implementations share one interface: an in-process hub (tests,
+// examples, benchmarks) and a TCP hub (the tcvs binaries).
+//
+// The channel is between USERS only; the untrusted server never sees
+// it. Reliability and in-order delivery are assumed by the paper's
+// model (failures are out of scope).
+package broadcast
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/wire"
+)
+
+func init() {
+	gob.Register(&Message{})
+}
+
+// Message is one broadcast datum. Payload types must be gob-registered
+// (the core package registers all protocol messages).
+type Message struct {
+	From    sig.UserID
+	Payload any
+}
+
+// Channel is one participant's endpoint: publish to all, receive all
+// (including one's own publications, which simplifies sync rounds —
+// every participant processes the same message sequence).
+type Channel interface {
+	Publish(msg Message) error
+	Recv() <-chan Message
+	Close() error
+}
+
+// ErrClosed is returned when publishing on a closed channel.
+var ErrClosed = errors.New("broadcast: closed")
+
+// chanBuf is the per-subscriber buffer. Sync rounds are tiny (n+1
+// messages); a deep buffer means publishers never block in practice.
+const chanBuf = 1024
+
+// Hub is the in-process broadcast medium.
+type Hub struct {
+	mu     sync.Mutex
+	subs   map[*hubChannel]struct{}
+	closed bool
+}
+
+// NewHub creates an empty hub.
+func NewHub() *Hub { return &Hub{subs: make(map[*hubChannel]struct{})} }
+
+// Join adds a participant.
+func (h *Hub) Join() Channel {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := &hubChannel{hub: h, ch: make(chan Message, chanBuf)}
+	h.subs[c] = struct{}{}
+	return c
+}
+
+func (h *Hub) publish(msg Message) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrClosed
+	}
+	for s := range h.subs {
+		select {
+		case s.ch <- msg:
+		default:
+			// A subscriber this far behind has left the model's
+			// bounded-delivery world; fail loudly rather than drop
+			// silently.
+			return fmt.Errorf("broadcast: subscriber buffer overflow")
+		}
+	}
+	return nil
+}
+
+// Close shuts the hub down; all subscriber channels are closed.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		close(s.ch)
+	}
+	h.subs = map[*hubChannel]struct{}{}
+}
+
+type hubChannel struct {
+	hub    *Hub
+	ch     chan Message
+	closed bool
+	mu     sync.Mutex
+}
+
+func (c *hubChannel) Publish(msg Message) error { return c.hub.publish(msg) }
+
+func (c *hubChannel) Recv() <-chan Message { return c.ch }
+
+func (c *hubChannel) Close() error {
+	c.hub.mu.Lock()
+	defer c.hub.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		if _, ok := c.hub.subs[c]; ok {
+			delete(c.hub.subs, c)
+			close(c.ch)
+		}
+	}
+	return nil
+}
+
+// HubServer is the TCP broadcast hub: every connected client receives
+// every published message (including its own).
+type HubServer struct {
+	lis    net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenHub starts a TCP hub on addr.
+func ListenHub(addr string) (*HubServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("broadcast: listen %s: %w", addr, err)
+	}
+	h := &HubServer{lis: lis, conns: make(map[net.Conn]struct{})}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's bound address.
+func (h *HubServer) Addr() string { return h.lis.Addr().String() }
+
+func (h *HubServer) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.lis.Accept()
+		if err != nil {
+			return
+		}
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			conn.Close()
+			return
+		}
+		h.conns[conn] = struct{}{}
+		h.mu.Unlock()
+
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			defer h.drop(conn)
+			for {
+				msg, err := wire.Read(conn)
+				if err != nil {
+					return
+				}
+				h.fanout(msg)
+			}
+		}()
+	}
+}
+
+func (h *HubServer) fanout(msg any) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for c := range h.conns {
+		// A write error just drops that subscriber at its next read.
+		_ = wire.Write(c, msg)
+	}
+}
+
+func (h *HubServer) drop(conn net.Conn) {
+	h.mu.Lock()
+	delete(h.conns, conn)
+	h.mu.Unlock()
+	conn.Close()
+}
+
+// Close shuts the hub down.
+func (h *HubServer) Close() error {
+	h.mu.Lock()
+	h.closed = true
+	for c := range h.conns {
+		c.Close()
+	}
+	h.conns = map[net.Conn]struct{}{}
+	h.mu.Unlock()
+	return h.lis.Close()
+}
+
+// DialHub joins a TCP hub as a participant.
+func DialHub(addr string) (Channel, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("broadcast: dial %s: %w", addr, err)
+	}
+	c := &tcpChannel{conn: conn, ch: make(chan Message, chanBuf)}
+	go c.readLoop()
+	return c, nil
+}
+
+type tcpChannel struct {
+	conn net.Conn
+	ch   chan Message
+
+	mu     sync.Mutex // guards writes and close
+	closed bool
+}
+
+func (c *tcpChannel) readLoop() {
+	defer close(c.ch)
+	for {
+		msg, err := wire.Read(c.conn)
+		if err != nil {
+			return
+		}
+		m, ok := msg.(*Message)
+		if !ok {
+			continue
+		}
+		select {
+		case c.ch <- *m:
+		default:
+			return // hopelessly behind; sever
+		}
+	}
+}
+
+func (c *tcpChannel) Publish(msg Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return wire.Write(c.conn, &msg)
+}
+
+func (c *tcpChannel) Recv() <-chan Message { return c.ch }
+
+func (c *tcpChannel) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}

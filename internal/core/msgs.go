@@ -1,0 +1,130 @@
+package core
+
+import (
+	"encoding/gob"
+
+	"trustedcvs/internal/digest"
+	"trustedcvs/internal/merkle"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/vdb"
+)
+
+func init() {
+	gob.Register(&OpRequest{})
+	gob.Register(&AckRequest{})
+	gob.Register(&OpResponseI{})
+	gob.Register(&OpResponseII{})
+	gob.Register(&SyncRequest{})
+	gob.Register(SyncReportI{})
+	gob.Register(SyncReportII{})
+	gob.Register(Registers{})
+	gob.Register(&EpochBackup{})
+	gob.Register(&GetBackupsRequest{})
+	gob.Register(&BackupsResponse{})
+	gob.Register(&PushContentRequest{})
+	gob.Register(&FetchContentRequest{})
+	gob.Register(&ContentResponse{})
+	gob.Register(&OKResponse{})
+}
+
+// OpRequest asks the server to perform one operation on behalf of a
+// user. Under Protocol III the request may piggyback the user's signed
+// epoch backup (sent with the second operation of a new epoch).
+type OpRequest struct {
+	User   sig.UserID
+	Op     vdb.Op
+	Backup *EpochBackup // Protocol III only
+}
+
+// OpResponseI is the server's reply under Protocol I:
+// (Q(D), v(Q,D), ctr, j, sig) with sig = sig_j(h(M(D)‖ctr)).
+type OpResponseI struct {
+	Answer []byte
+	VO     *merkle.VO
+	Ctr    uint64
+	Signer sig.UserID
+	Sig    sig.Signature
+}
+
+// AckRequest is Protocol I's third message: the user returns its
+// signature over the new state h(M(D′)‖ctr+1). The server may not
+// serve another operation until it arrives — the blocking step
+// Protocol II eliminates.
+type AckRequest struct {
+	User sig.UserID
+	Sig  sig.Signature
+}
+
+// OpResponseII is the server's reply under Protocols II and III:
+// (Q(D), v(Q,D), ctr, j) — no signature. Epoch is used by Protocol III
+// only (0 under Protocol II).
+type OpResponseII struct {
+	Answer []byte
+	VO     *merkle.VO
+	Ctr    uint64
+	Last   sig.UserID
+	Epoch  uint64
+}
+
+// SyncRequest announces a synchronization round on the broadcast
+// channel ("the first user to complete k operations announces a
+// sync-up message").
+type SyncRequest struct {
+	From  sig.UserID
+	Round uint64
+}
+
+// EpochBackup is a user's signed summary of one epoch's registers,
+// stored on the server under Protocol III. Sig covers
+// EpochSummaryHash(User, Epoch, Sigma, Last, LastCtr).
+type EpochBackup struct {
+	User    sig.UserID
+	Epoch   uint64
+	Sigma   digest.Digest
+	Last    digest.Digest
+	LastCtr uint64
+	Sig     sig.Signature
+}
+
+// Verify checks the backup's signature against the ring.
+func (b *EpochBackup) Verify(ring *sig.Ring) error {
+	return ring.Verify(b.User, EpochSummaryHash(b.User, b.Epoch, b.Sigma, b.Last, b.LastCtr), b.Sig)
+}
+
+// GetBackupsRequest fetches every user's stored backup for an epoch
+// (sent by the designated checker in epoch e+2 for epoch e).
+type GetBackupsRequest struct {
+	User  sig.UserID
+	Epoch uint64
+}
+
+// BackupsResponse returns the stored backups for one epoch.
+type BackupsResponse struct {
+	Epoch   uint64
+	Backups []*EpochBackup
+}
+
+// PushContentRequest uploads revision content to the server's
+// unauthenticated content store.
+type PushContentRequest struct {
+	Path    string
+	Rev     uint64
+	Content []byte
+}
+
+// FetchContentRequest downloads revision content. Hash is the
+// authenticated content hash the client expects; it lets the store
+// resolve the right blob even across diverged histories.
+type FetchContentRequest struct {
+	Path string
+	Rev  uint64
+	Hash digest.Digest
+}
+
+// ContentResponse returns fetched content.
+type ContentResponse struct {
+	Content []byte
+}
+
+// OKResponse is the generic empty success reply.
+type OKResponse struct{}

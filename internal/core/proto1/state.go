@@ -1,0 +1,49 @@
+package proto1
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"trustedcvs/internal/sig"
+)
+
+// State is the serializable protocol state of a Protocol I user: the
+// counters of desideratum 5. Keys are NOT part of it — the caller owns
+// key material and supplies the signer and ring again on restore.
+type State struct {
+	ID        sig.UserID
+	K         uint64
+	LCtr      uint64
+	GCtr      uint64
+	SinceSync uint64
+}
+
+// MarshalState serializes the user's counters.
+func (u *User) MarshalState() ([]byte, error) {
+	var buf bytes.Buffer
+	st := State{ID: u.ID(), K: u.k, LCtr: u.lctr, GCtr: u.gctr, SinceSync: u.sinceSync}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("proto1: marshal state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreUser reconstructs a user from persisted counters plus the
+// caller-held key material. The signer's identity must match the
+// persisted state.
+func RestoreUser(signer *sig.Signer, ring *sig.Ring, data []byte) (*User, error) {
+	var st State
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("proto1: restore state: %w", err)
+	}
+	if st.ID != signer.ID() {
+		return nil, fmt.Errorf("proto1: state belongs to %v, signer is %v", st.ID, signer.ID())
+	}
+	if st.K == 0 {
+		return nil, fmt.Errorf("proto1: restore state: zero sync period")
+	}
+	u := NewUser(signer, ring, st.K)
+	u.lctr, u.gctr, u.sinceSync = st.LCtr, st.GCtr, st.SinceSync
+	return u, nil
+}

@@ -1,0 +1,60 @@
+package proto1
+
+import (
+	"testing"
+
+	"trustedcvs/internal/sig"
+)
+
+func TestP1StateRoundTripContinuesRun(t *testing.T) {
+	h := newHarness(t, 2, 1000)
+	for i := 0; i < 6; i++ {
+		h.do(i%2, put("k", "v"))
+	}
+	data, err := h.users[1].MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "New process": rebuild keys from the same source, restore.
+	signers, ring, err := sig.DeterministicSigners(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreUser(signers[1], ring, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.LCtr() != h.users[1].LCtr() {
+		t.Fatalf("restored lctr %d != %d", restored.LCtr(), h.users[1].LCtr())
+	}
+	h.users[1] = restored
+	for i := 0; i < 4; i++ {
+		h.do(1, put("k2", "w"))
+	}
+	if err := h.sync(); err != nil {
+		t.Fatalf("sync after restore: %v", err)
+	}
+}
+
+func TestP1StateRestoreValidation(t *testing.T) {
+	signers, ring, err := sig.DeterministicSigners(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreUser(signers[0], ring, []byte("junk")); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	u := NewUser(signers[0], ring, 4)
+	data, err := u.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restoring with the WRONG signer must be refused: the counters
+	// belong to user 0.
+	if _, err := RestoreUser(signers[1], ring, data); err == nil {
+		t.Fatal("identity mismatch must be rejected")
+	}
+	if _, err := RestoreUser(signers[0], ring, data); err != nil {
+		t.Fatalf("valid restore failed: %v", err)
+	}
+}

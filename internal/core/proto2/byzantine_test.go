@@ -1,0 +1,130 @@
+package proto2
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/merkle"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/vdb"
+)
+
+// TestQuickByzantineResponseMutations is the soundness fuzzer: an
+// otherwise honest run has ONE response field mutated to a random
+// different value (counter, last-user tag, answer bytes, or a digest
+// inside the VO). Every such lie must be caught — either immediately
+// by the per-operation checks or at the closing synchronization.
+func TestQuickByzantineResponseMutations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		h := newHarness(t, n, 1_000_000) // manual sync at the end
+		ops := 5 + rng.Intn(25)
+		victimOp := 1 + rng.Intn(ops)
+		mutation := rng.Intn(4)
+
+		var detected error
+		for i := 1; i <= ops && detected == nil; i++ {
+			u := rng.Intn(n)
+			op := put(fmt.Sprintf("k%d", rng.Intn(8)), fmt.Sprintf("v%d", i))
+			resp, err := h.server.HandleOp(h.users[u].Request(op))
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			applied := true
+			if i == victimOp {
+				applied = mutate(rng, resp, mutation)
+			}
+			if i == victimOp && !applied {
+				// The lie had nothing to bite on (e.g. an empty-tree VO
+				// has no digests to corrupt): vacuous trial.
+				return true
+			}
+			if _, err := h.users[u].HandleResponse(op, resp); err != nil {
+				detected = err
+			}
+		}
+		if detected == nil {
+			detected = h.sync()
+		}
+		de, ok := core.AsDetection(detected)
+		if !ok {
+			t.Logf("mutation %d at op %d/%d undetected", mutation, victimOp, ops)
+			return false
+		}
+		_ = de
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mutate applies one lie to the response, reporting whether anything
+// actually changed.
+func mutate(rng *rand.Rand, resp *core.OpResponseII, kind int) bool {
+	switch kind {
+	case 0: // counter lie (any different value)
+		resp.Ctr += uint64(1 + rng.Intn(10))
+	case 1: // attribution lie: blame a different user
+		resp.Last += sig.UserID(1 + rng.Intn(5))
+	case 2: // answer lie: substitute a well-formed different answer
+		forged, err := vdb.EncodeAnswer(vdb.ReadAnswer{Results: []vdb.ReadResult{{
+			Key: "forged", Found: true, Val: []byte{byte(rng.Int())},
+		}}})
+		if err != nil {
+			panic(err)
+		}
+		resp.Answer = forged
+	case 3: // VO lie: corrupt one pruned digest inside the proof
+		return flipOneDigest(rng, resp.VO.Root)
+	}
+	return true
+}
+
+// flipOneDigest flips a byte in some pruned digest of the VO (there is
+// always at least one on a non-trivial tree; if not, the root content
+// itself is mutated via a key rename).
+func flipOneDigest(rng *rand.Rand, n *merkle.VONode) bool {
+	if n == nil {
+		return false
+	}
+	if n.Pruned {
+		n.Digest[rng.Intn(len(n.Digest))] ^= 0xFF
+		return true
+	}
+	for _, k := range n.Kids {
+		if flipOneDigest(rng, k) {
+			return true
+		}
+	}
+	if len(n.Keys) > 0 {
+		n.Keys[0] += "-tampered"
+		return true
+	}
+	return false
+}
+
+// TestByzantineCtrLieCaughtSameUser: a counter jump is caught no later
+// than the same user's next operation (monotonicity is per-user; the
+// jump itself may pass, but the chain breaks at sync regardless).
+func TestByzantineCtrLieCaughtAtSync(t *testing.T) {
+	h := newHarness(t, 2, 1_000_000)
+	op := put("a", "1")
+	resp, err := h.server.HandleOp(h.users[0].Request(op))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Ctr += 7
+	if _, err := h.users[0].HandleResponse(op, resp); err != nil {
+		t.Fatalf("a pure forward ctr jump passes per-op checks: %v", err)
+	}
+	err = h.sync()
+	if de, ok := core.AsDetection(err); !ok || de.Class != core.SyncMismatch {
+		t.Fatalf("ctr lie must break the chain at sync: %v", err)
+	}
+}

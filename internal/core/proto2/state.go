@@ -1,0 +1,55 @@
+package proto2
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/digest"
+	"trustedcvs/internal/sig"
+)
+
+// State is the serializable form of a User — the constant-size local
+// state of desideratum 5, persisted by the CLI between invocations.
+type State struct {
+	ID           sig.UserID
+	K            uint64
+	SinceSync    uint64
+	Registers    core.Registers
+	InitialState digest.Digest
+}
+
+// MarshalState serializes the user's protocol state.
+func (u *User) MarshalState() ([]byte, error) {
+	var buf bytes.Buffer
+	st := State{
+		ID:           u.id,
+		K:            u.k,
+		SinceSync:    u.sinceSync,
+		Registers:    u.regs,
+		InitialState: u.initialState,
+	}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("proto2: marshal state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreUser reconstructs a user from persisted state.
+func RestoreUser(data []byte) (*User, error) {
+	var st State
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("proto2: restore state: %w", err)
+	}
+	if st.K == 0 {
+		return nil, fmt.Errorf("proto2: restore state: zero sync period")
+	}
+	return &User{
+		id:           st.ID,
+		k:            st.K,
+		sinceSync:    st.SinceSync,
+		regs:         st.Registers,
+		initialState: st.InitialState,
+	}, nil
+}

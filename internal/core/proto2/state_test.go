@@ -1,0 +1,80 @@
+package proto2
+
+import (
+	"testing"
+
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/vdb"
+)
+
+// TestStateRoundTripContinuesRun is the CLI scenario: a user runs some
+// verified operations, persists its registers, is reconstructed in a
+// "new process", continues operating, and still passes the
+// synchronization check — i.e. the restored registers really are the
+// same protocol state.
+func TestStateRoundTripContinuesRun(t *testing.T) {
+	h := newHarness(t, 2, 1000)
+	for i := 0; i < 7; i++ {
+		h.do(i%2, put("k", "v"))
+	}
+	data, err := h.users[0].MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreUser(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.ID() != h.users[0].ID() || restored.LCtr() != h.users[0].LCtr() {
+		t.Fatalf("restored identity/counters differ: %v %d", restored.ID(), restored.LCtr())
+	}
+	// The restored user replaces the original and keeps operating.
+	h.users[0] = restored
+	for i := 0; i < 5; i++ {
+		h.do(0, put("k2", "w"))
+	}
+	if err := h.sync(); err != nil {
+		t.Fatalf("sync after state restore: %v", err)
+	}
+}
+
+// TestStateRestoreDetectsReplayAfterRestore: the restored gctr still
+// protects against counter replays that span the "restart".
+func TestStateRestoreDetectsReplayAfterRestore(t *testing.T) {
+	h := newHarness(t, 1, 1000)
+	snapshot := h.server.Fork()
+	h.do(0, put("a", "1"))
+
+	data, err := h.users[0].MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreUser(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := put("a", "2")
+	resp, err := snapshot.HandleOp(restored.Request(op))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = restored.HandleResponse(op, resp)
+	if de, ok := core.AsDetection(err); !ok || de.Class != core.CounterReplay {
+		t.Fatalf("replay across restore not caught: %v", err)
+	}
+}
+
+func TestStateRestoreRejectsGarbage(t *testing.T) {
+	if _, err := RestoreUser([]byte("junk")); err == nil {
+		t.Fatal("garbage state must be rejected")
+	}
+	// Zero sync period (e.g. an empty struct) is invalid.
+	u := NewUser(1, vdb.New(0).Root(), 5)
+	data, err := u.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreUser(data); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+}

@@ -1,0 +1,51 @@
+package proto3
+
+import (
+	"sort"
+
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/vdb"
+)
+
+// ServerState is the Protocol III server's persistent protocol state
+// beside the database: the last-user marker, the epoch counter, and
+// the stored (signed, hence tamper-evident) epoch backups.
+type ServerState struct {
+	LastUser sig.UserID
+	Epoch    uint64
+	Backups  []*core.EpochBackup
+}
+
+// State captures the server's protocol state for persistence.
+func (s *Server) State() ServerState {
+	st := ServerState{LastUser: s.lastUser, Epoch: s.epoch}
+	epochs := make([]uint64, 0, len(s.backups))
+	for e := range s.backups {
+		epochs = append(epochs, e)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	for _, e := range epochs {
+		users := make([]sig.UserID, 0, len(s.backups[e]))
+		for u := range s.backups[e] {
+			users = append(users, u)
+		}
+		sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+		for _, u := range users {
+			st.Backups = append(st.Backups, s.backups[e][u])
+		}
+	}
+	return st
+}
+
+// NewServerFromState resumes a Protocol III server over a restored
+// database.
+func NewServerFromState(db *vdb.DB, st ServerState) *Server {
+	s := NewServer(db)
+	s.lastUser = st.LastUser
+	s.epoch = st.Epoch
+	for _, b := range st.Backups {
+		s.storeBackup(b)
+	}
+	return s
+}

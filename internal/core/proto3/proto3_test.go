@@ -1,0 +1,287 @@
+package proto3
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/vdb"
+)
+
+type harness struct {
+	t      *testing.T
+	server *Server
+	users  []*User
+}
+
+func newHarness(t *testing.T, n int) *harness {
+	t.Helper()
+	signers, ring, err := sig.DeterministicSigners(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := vdb.New(0)
+	srv := NewServer(db)
+	users := make([]*User, n)
+	for i := range users {
+		users[i] = NewUser(signers[i], ring, db.Root())
+	}
+	return &harness{t: t, server: srv, users: users}
+}
+
+// doOn performs one op by user u against srv, running any checker duty
+// against dutySrv (usually the same server). Returns the first error.
+func (h *harness) doOn(srv, dutySrv *Server, u int, op vdb.Op) (any, error) {
+	user := h.users[u]
+	resp, err := srv.HandleOp(user.Request(op))
+	if err != nil {
+		return nil, err
+	}
+	out, err := user.HandleResponse(op, resp)
+	if err != nil {
+		return nil, err
+	}
+	if out.CheckEpoch != nil {
+		e := *out.CheckEpoch
+		var prev *core.BackupsResponse
+		if e > 0 {
+			prev = dutySrv.HandleGetBackups(user.BackupsRequest(e - 1))
+		}
+		cur := dutySrv.HandleGetBackups(user.BackupsRequest(e))
+		if err := user.CompleteEpochCheck(e, prev, cur); err != nil {
+			return out.Answer, err
+		}
+	}
+	return out.Answer, nil
+}
+
+func (h *harness) do(u int, op vdb.Op) any {
+	h.t.Helper()
+	ans, err := h.doOn(h.server, h.server, u, op)
+	if err != nil {
+		h.t.Fatalf("user %d: %v", u, err)
+	}
+	return ans
+}
+
+// epochRound has every user perform two ops (the workload assumption),
+// then advances the epoch.
+func (h *harness) epochRound(tag string) error {
+	for u := range h.users {
+		for j := 0; j < 2; j++ {
+			op := put(fmt.Sprintf("u%d-%s-%d", u, tag, j), tag)
+			if _, err := h.doOn(h.server, h.server, u, op); err != nil {
+				return err
+			}
+		}
+	}
+	h.server.AdvanceEpoch()
+	return nil
+}
+
+func put(k, v string) vdb.Op { return &vdb.WriteOp{Puts: []vdb.KV{{Key: k, Val: []byte(v)}}} }
+func get(k string) vdb.Op    { return &vdb.ReadOp{Keys: []string{k}} }
+
+func TestHonestEpochs(t *testing.T) {
+	h := newHarness(t, 3)
+	for e := 0; e < 8; e++ {
+		if err := h.epochRound(fmt.Sprintf("e%d", e)); err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+	}
+	// By now epochs 0..5 have been audited by rotating checkers with
+	// no detection — and reads still verify.
+	ans := h.do(0, get("u0-e0-0"))
+	if ra := ans.(vdb.ReadAnswer); !ra.Results[0].Found {
+		t.Fatal("read lost data")
+	}
+}
+
+func TestBackupsStoredAndServed(t *testing.T) {
+	h := newHarness(t, 2)
+	if err := h.epochRound("e0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.epochRound("e1"); err != nil {
+		t.Fatal(err)
+	}
+	// During epoch 1 both users uploaded their epoch-0 backups.
+	resp := h.server.HandleGetBackups(&core.GetBackupsRequest{Epoch: 0})
+	if len(resp.Backups) != 2 {
+		t.Fatalf("stored %d backups for epoch 0, want 2", len(resp.Backups))
+	}
+	for _, b := range resp.Backups {
+		if b.Epoch != 0 {
+			t.Fatalf("backup epoch %d", b.Epoch)
+		}
+		if b.LastCtr == 0 {
+			t.Fatalf("backup claims no operations: %+v", b)
+		}
+	}
+}
+
+// TestPartitionDetectedWithinTwoEpochs forks the server in epoch f and
+// verifies a checker detects by the end of epoch f+2 — Theorem 4.3.
+func TestPartitionDetectedWithinTwoEpochs(t *testing.T) {
+	h := newHarness(t, 4)
+	// Honest epoch 0.
+	if err := h.epochRound("e0"); err != nil {
+		t.Fatal(err)
+	}
+	// Fork at the start of epoch 1: users 0,1 on A; users 2,3 on B.
+	branchB := h.server.Fork()
+	servers := func(u int) *Server {
+		if u < 2 {
+			return h.server
+		}
+		return branchB
+	}
+	var detected error
+	for e := 1; e <= 3 && detected == nil; e++ {
+		for u := 0; u < 4 && detected == nil; u++ {
+			for j := 0; j < 2; j++ {
+				srv := servers(u)
+				// Checker duty runs against the user's own branch.
+				if _, err := h.doOn(srv, srv, u, put(fmt.Sprintf("u%d-e%d-%d", u, e, j), "x")); err != nil {
+					detected = err
+					break
+				}
+			}
+		}
+		h.server.AdvanceEpoch()
+		branchB.AdvanceEpoch()
+	}
+	de, ok := core.AsDetection(detected)
+	if !ok {
+		t.Fatalf("partition not detected within two epochs: %v", detected)
+	}
+	if de.Class != core.SyncMismatch && de.Class != core.EpochViolation {
+		t.Fatalf("unexpected detection class: %v", de)
+	}
+}
+
+// TestWithheldBackupDetected: the server refuses to return one user's
+// backup; the checker flags it.
+func TestWithheldBackupDetected(t *testing.T) {
+	h := newHarness(t, 3)
+	for e := 0; e < 2; e++ {
+		if err := h.epochRound(fmt.Sprintf("e%d", e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epoch 2: the checker for epoch 0 (user 0) asks for backups; the
+	// server withholds user 1's.
+	user := h.users[0]
+	op := put("probe", "x")
+	resp, err := h.server.HandleOp(user.Request(op))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := user.HandleResponse(op, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CheckEpoch == nil || *out.CheckEpoch != 0 {
+		t.Fatalf("user 0 should be the epoch-0 checker, got %+v", out.CheckEpoch)
+	}
+	cur := h.server.HandleGetBackups(user.BackupsRequest(0))
+	var withheld []*core.EpochBackup
+	for _, b := range cur.Backups {
+		if b.User != 1 {
+			withheld = append(withheld, b)
+		}
+	}
+	cur.Backups = withheld
+	err = user.CompleteEpochCheck(0, nil, cur)
+	de, ok := core.AsDetection(err)
+	if !ok || de.Class != core.EpochViolation {
+		t.Fatalf("want EpochViolation for withheld backup, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("error should say missing: %v", err)
+	}
+}
+
+// TestForgedBackupDetected: the server substitutes a fabricated backup;
+// the signature check catches it.
+func TestForgedBackupDetected(t *testing.T) {
+	h := newHarness(t, 2)
+	for e := 0; e < 2; e++ {
+		if err := h.epochRound(fmt.Sprintf("e%d", e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	user := h.users[0]
+	op := put("probe", "x")
+	resp, err := h.server.HandleOp(user.Request(op))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := user.HandleResponse(op, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CheckEpoch == nil {
+		t.Fatal("expected checker duty")
+	}
+	cur := h.server.HandleGetBackups(user.BackupsRequest(0))
+	forged := *cur.Backups[1]
+	forged.Sigma = core.GenesisState(vdb.New(0).Root()) // garbage
+	cur.Backups[1] = &forged
+	err = user.CompleteEpochCheck(0, nil, cur)
+	if de, ok := core.AsDetection(err); !ok || de.Class != core.EpochViolation {
+		t.Fatalf("want EpochViolation for forged backup, got %v", err)
+	}
+}
+
+func TestEpochRegressionDetected(t *testing.T) {
+	h := newHarness(t, 1)
+	if err := h.epochRound("e0"); err != nil {
+		t.Fatal(err)
+	}
+	// One op in epoch 1 so the user learns of it.
+	h.do(0, put("x", "1"))
+	// Server now claims epoch 0 again.
+	lying := h.server.Fork()
+	lying.epoch = 0
+	_, err := h.doOn(lying, lying, 0, put("y", "2"))
+	if de, ok := core.AsDetection(err); !ok || de.Class != core.EpochViolation {
+		t.Fatalf("want EpochViolation, got %v", err)
+	}
+}
+
+func TestLocalClockDriftDetected(t *testing.T) {
+	h := newHarness(t, 1)
+	// The user's local clock says we should be around epoch 5, but the
+	// server never advances: a stalling attack on detection latency.
+	h.users[0].LocalEpoch = func() uint64 { return 5 }
+	_, err := h.doOn(h.server, h.server, 0, put("x", "1"))
+	if de, ok := core.AsDetection(err); !ok || de.Class != core.EpochViolation {
+		t.Fatalf("want EpochViolation for stalled epochs, got %v", err)
+	}
+}
+
+func TestCounterReplayDetected(t *testing.T) {
+	h := newHarness(t, 1)
+	snapshot := h.server.Fork()
+	h.do(0, put("a", "1"))
+	op := put("a", "2")
+	resp, err := snapshot.HandleOp(h.users[0].Request(op))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = h.users[0].HandleResponse(op, resp)
+	if de, ok := core.AsDetection(err); !ok || de.Class != core.CounterReplay {
+		t.Fatalf("want CounterReplay, got %v", err)
+	}
+}
+
+func TestCheckerRotation(t *testing.T) {
+	h := newHarness(t, 3)
+	if h.users[0].checkerFor(0) != 0 || h.users[0].checkerFor(1) != 1 ||
+		h.users[0].checkerFor(2) != 2 || h.users[0].checkerFor(3) != 0 {
+		t.Fatal("checker rotation broken")
+	}
+}

@@ -1,0 +1,66 @@
+package proto3
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/digest"
+	"trustedcvs/internal/sig"
+)
+
+// UserState is the serializable protocol state of a Protocol III user:
+// registers, epoch bookkeeping, and the pending (not yet uploaded)
+// epoch backup. Key material stays with the caller, as in proto1.
+type UserState struct {
+	ID           sig.UserID
+	Registers    core.Registers
+	InitialState digest.Digest
+	Epoch        uint64
+	EpochKnown   bool
+	Pending      *core.EpochBackup
+	CheckedUpTo  uint64
+}
+
+// MarshalState serializes the user's protocol state.
+func (u *User) MarshalState() ([]byte, error) {
+	var buf bytes.Buffer
+	st := UserState{
+		ID:           u.ID(),
+		Registers:    u.regs,
+		InitialState: u.initialState,
+		Epoch:        u.epoch,
+		EpochKnown:   u.epochKnown,
+		Pending:      u.pending,
+		CheckedUpTo:  u.checkedUpTo,
+	}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("proto3: marshal state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreUser reconstructs a user from persisted state plus the
+// caller-held key material.
+func RestoreUser(signer *sig.Signer, ring *sig.Ring, data []byte) (*User, error) {
+	var st UserState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("proto3: restore state: %w", err)
+	}
+	if st.ID != signer.ID() {
+		return nil, fmt.Errorf("proto3: state belongs to %v, signer is %v", st.ID, signer.ID())
+	}
+	u := &User{
+		signer:       signer,
+		ring:         ring,
+		users:        ring.Users(),
+		regs:         st.Registers,
+		initialState: st.InitialState,
+		epoch:        st.Epoch,
+		epochKnown:   st.EpochKnown,
+		pending:      st.Pending,
+		checkedUpTo:  st.CheckedUpTo,
+	}
+	return u, nil
+}

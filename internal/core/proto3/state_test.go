@@ -1,0 +1,76 @@
+package proto3
+
+import (
+	"fmt"
+	"testing"
+
+	"trustedcvs/internal/sig"
+)
+
+// TestP3StateRoundTripContinuesRun: a user is persisted mid-epoch
+// (with a pending backup waiting for upload), restored in a "new
+// process", and the run continues — including the eventual epoch audit
+// passing on the combined history.
+func TestP3StateRoundTripContinuesRun(t *testing.T) {
+	h := newHarness(t, 2)
+	// Epoch 0 fully; then one op of epoch 1 so user 0 holds a pending
+	// epoch-0 backup that has NOT been uploaded yet.
+	if err := h.epochRound("e0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.doOn(h.server, h.server, 0, put("early-e1", "x")); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := h.users[0].MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	signers, ring, err := sig.DeterministicSigners(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreUser(signers[0], ring, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Epoch() != 1 || restored.pending == nil {
+		t.Fatalf("restored epoch %d pending %v", restored.Epoch(), restored.pending)
+	}
+	h.users[0] = restored
+
+	// Finish epoch 1 honoring the workload assumption (two ops per
+	// user: user 0 already did one; user 1 needs both — its second op
+	// uploads its epoch-0 backup). Then epoch 2's audit of epoch 0
+	// must pass.
+	if _, err := h.doOn(h.server, h.server, 0, put("late-e1-0", "y")); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if _, err := h.doOn(h.server, h.server, 1, put(fmt.Sprintf("late-e1-1-%d", j), "y")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.server.AdvanceEpoch()
+	if err := h.epochRound("e2"); err != nil {
+		t.Fatalf("epoch 2 after restore: %v", err)
+	}
+}
+
+func TestP3StateValidation(t *testing.T) {
+	signers, ring, err := sig.DeterministicSigners(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreUser(signers[0], ring, []byte("junk")); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	db := newHarness(t, 2)
+	data, err := db.users[0].MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreUser(signers[1], ring, data); err == nil {
+		t.Fatal("identity mismatch must be rejected")
+	}
+}

@@ -1,0 +1,81 @@
+package cvs
+
+import (
+	"fmt"
+
+	"trustedcvs/internal/diff"
+)
+
+// LineOrigin attributes one line of a file's head revision to the
+// revision (and author) that introduced it — `cvs annotate`.
+type LineOrigin struct {
+	Line   string // line content, including its newline if present
+	Rev    uint64
+	Author string
+}
+
+// Annotate computes per-line attribution for path's current head by
+// replaying the verified revision history through the diff engine:
+// every revision's content is checked out with full verification, so
+// the blame output inherits the protocol's integrity guarantees.
+//
+// Removal revisions (dead) carry no content change and are skipped; a
+// resurrected file's unchanged lines keep their original attribution.
+func (c *Client) Annotate(path string) ([]LineOrigin, error) {
+	history, err := c.Log(path) // newest first
+	if err != nil {
+		return nil, err
+	}
+	if len(history) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoFile, path)
+	}
+	if history[0].Dead {
+		return nil, fmt.Errorf("%w: %s (removed at revision %d)", ErrNoFile, path, history[0].Rev)
+	}
+	// Oldest first, skipping dead (removal) revisions.
+	revs := make([]RevisionRecord, 0, len(history))
+	for i := len(history) - 1; i >= 0; i-- {
+		if !history[i].Dead {
+			revs = append(revs, history[i])
+		}
+	}
+
+	var origins []LineOrigin
+	var prevLines []string
+	for _, rec := range revs {
+		got, err := c.CheckoutRev(rec.Rev, path)
+		if err != nil {
+			return nil, fmt.Errorf("cvs: annotate %s@%d: %w", path, rec.Rev, err)
+		}
+		lines := diff.SplitLines(string(got[path]))
+		if origins == nil && prevLines == nil {
+			origins = make([]LineOrigin, len(lines))
+			for i, l := range lines {
+				origins[i] = LineOrigin{Line: l, Rev: rec.Rev, Author: rec.Author}
+			}
+			prevLines = lines
+			continue
+		}
+		patch := diff.Lines(prevLines, lines)
+		next := make([]LineOrigin, 0, len(lines))
+		oldIdx := 0
+		for _, e := range patch.Edits {
+			switch e.Op {
+			case diff.Equal:
+				for range e.Lines {
+					next = append(next, origins[oldIdx])
+					oldIdx++
+				}
+			case diff.Delete:
+				oldIdx += len(e.Lines)
+			case diff.Insert:
+				for _, l := range e.Lines {
+					next = append(next, LineOrigin{Line: l, Rev: rec.Rev, Author: rec.Author})
+				}
+			}
+		}
+		origins = next
+		prevLines = lines
+	}
+	return origins, nil
+}

@@ -1,0 +1,170 @@
+package cvs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"trustedcvs/internal/vdb"
+)
+
+// multiAuthorClient returns per-author clients over one shared session.
+func multiAuthorClient(t *testing.T, authors ...string) map[string]*Client {
+	t.Helper()
+	db := vdb.New(0)
+	store := NewStore()
+	sess := vdb.NewSession(db)
+	out := map[string]*Client{}
+	for _, a := range authors {
+		out[a] = NewClient(sess, store, a, fixedClock())
+	}
+	return out
+}
+
+func TestAnnotateBasic(t *testing.T) {
+	cs := multiAuthorClient(t, "alice", "bob")
+	if _, err := cs["alice"].Commit(map[string][]byte{"f": []byte("one\ntwo\nthree\n")}, "r1", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Bob replaces line two and appends a line.
+	if _, err := cs["bob"].Commit(map[string][]byte{"f": []byte("one\nTWO\nthree\nfour\n")}, "r2", nil); err != nil {
+		t.Fatal(err)
+	}
+	origins, err := cs["alice"].Annotate("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		line   string
+		rev    uint64
+		author string
+	}{
+		{"one\n", 1, "alice"},
+		{"TWO\n", 2, "bob"},
+		{"three\n", 1, "alice"},
+		{"four\n", 2, "bob"},
+	}
+	if len(origins) != len(want) {
+		t.Fatalf("origins: %+v", origins)
+	}
+	for i, w := range want {
+		o := origins[i]
+		if o.Line != w.line || o.Rev != w.rev || o.Author != w.author {
+			t.Fatalf("line %d: %+v, want %+v", i, o, w)
+		}
+	}
+}
+
+func TestAnnotateSurvivesRemoval(t *testing.T) {
+	cs := multiAuthorClient(t, "alice", "bob")
+	if _, err := cs["alice"].Commit(map[string][]byte{"f": []byte("keep\n")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs["alice"].Remove("gone", "f"); err != nil {
+		t.Fatal(err)
+	}
+	// Annotate of a dead file fails like checkout.
+	if _, err := cs["alice"].Annotate("f"); !errors.Is(err, ErrNoFile) {
+		t.Fatalf("annotate of removed file: %v", err)
+	}
+	// Resurrect with the same first line plus one more.
+	if _, err := cs["bob"].Commit(map[string][]byte{"f": []byte("keep\nnew\n")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	origins, err := cs["bob"].Annotate("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(origins) != 2 {
+		t.Fatalf("origins: %+v", origins)
+	}
+	if origins[0].Rev != 1 || origins[0].Author != "alice" {
+		t.Fatalf("surviving line lost attribution across removal: %+v", origins[0])
+	}
+	if origins[1].Rev != 3 || origins[1].Author != "bob" {
+		t.Fatalf("resurrection line: %+v", origins[1])
+	}
+}
+
+func TestAnnotateMissingFile(t *testing.T) {
+	cs := multiAuthorClient(t, "alice")
+	if _, err := cs["alice"].Annotate("ghost"); !errors.Is(err, ErrNoFile) {
+		t.Fatalf("want ErrNoFile, got %v", err)
+	}
+}
+
+// TestQuickAnnotateInvariants: for random edit histories, (1) the
+// annotated lines reassemble exactly the head content, (2) every
+// attribution points at a real revision, and (3) a line present since
+// revision 1 and never replaced keeps attribution 1.
+func TestQuickAnnotateInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := vdb.New(0)
+		sess := vdb.NewSession(db)
+		store := NewStore()
+		authors := []string{"a", "b", "c"}
+		clients := map[string]*Client{}
+		for _, a := range authors {
+			clients[a] = NewClient(sess, store, a, func() time.Time { return time.Unix(1, 0) })
+		}
+		// Sentinel first line never edited below.
+		doc := []string{"sentinel\n"}
+		for i := 0; i < 3+rng.Intn(5); i++ {
+			doc = append(doc, fmt.Sprintf("l%d-%d\n", 0, i))
+		}
+		commit := func(author string) {
+			content := strings.Join(doc, "")
+			if _, err := clients[author].Commit(map[string][]byte{"f": []byte(content)}, "", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		commit("a")
+		revs := 1 + rng.Intn(6)
+		for r := 2; r <= revs+1; r++ {
+			// Random edits that never touch doc[0].
+			for e := 0; e < 1+rng.Intn(3); e++ {
+				switch {
+				case len(doc) < 3 || rng.Intn(2) == 0:
+					pos := 1 + rng.Intn(len(doc))
+					nl := append([]string(nil), doc[:pos]...)
+					nl = append(nl, fmt.Sprintf("l%d-%d\n", r, e))
+					doc = append(nl, doc[pos:]...)
+				default:
+					pos := 1 + rng.Intn(len(doc)-1)
+					doc = append(doc[:pos:pos], doc[pos+1:]...)
+				}
+			}
+			commit(authors[rng.Intn(len(authors))])
+		}
+		origins, err := clients["a"].Annotate("f")
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		var sb strings.Builder
+		for _, o := range origins {
+			sb.WriteString(o.Line)
+			if o.Rev < 1 || o.Rev > uint64(revs+1) {
+				t.Logf("bad rev %d", o.Rev)
+				return false
+			}
+		}
+		if sb.String() != strings.Join(doc, "") {
+			t.Log("annotated lines do not reassemble the head")
+			return false
+		}
+		if len(origins) == 0 || origins[0].Rev != 1 {
+			t.Logf("sentinel misattributed: %+v", origins[0])
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

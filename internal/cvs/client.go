@@ -1,0 +1,308 @@
+package cvs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"trustedcvs/internal/diff"
+	"trustedcvs/internal/digest"
+	"trustedcvs/internal/rcs"
+	"trustedcvs/internal/vdb"
+)
+
+// A Doer executes one authenticated operation against the untrusted
+// server and fully verifies it before returning the (decoded) answer.
+// The protocol user state machines (internal/core/proto*) bound to a
+// transport implement Doer; so does the trusted-server baseline.
+type Doer interface {
+	Do(op vdb.Op) (any, error)
+}
+
+// A ContentTransfer moves revision content to and from the server's
+// unauthenticated content store. Content is always re-verified against
+// the authenticated hash on the way back, so this channel needs no
+// protection of its own. Fetch carries the authenticated hash so the
+// store can serve the right blob even when a malicious server keeps
+// several diverged histories for the same (path, rev).
+type ContentTransfer interface {
+	Push(path string, rev uint64, content []byte) error
+	Fetch(path string, rev uint64, hash digest.Digest) ([]byte, error)
+}
+
+// ErrContentTampered is returned when fetched content does not hash to
+// the authenticated revision hash — a server integrity violation.
+var ErrContentTampered = errors.New("cvs: fetched content does not match authenticated hash")
+
+// ErrNoFile is returned when a checked-out path does not exist in the
+// repository.
+var ErrNoFile = errors.New("cvs: no such file")
+
+// ErrConflict is returned when a commit's up-to-date check failed for
+// at least one file.
+var ErrConflict = errors.New("cvs: up-to-date check failed")
+
+// Client is a verified CVS client: every repository operation goes
+// through a Doer (which proves server honesty per operation) and every
+// piece of content is re-hashed.
+type Client struct {
+	doer    Doer
+	content ContentTransfer
+	author  string
+	now     func() time.Time
+}
+
+// NewClient builds a client for the given user name. now may be nil
+// (wall clock); simulations pass a deterministic clock.
+func NewClient(doer Doer, content ContentTransfer, author string, now func() time.Time) *Client {
+	if now == nil {
+		now = time.Now
+	}
+	return &Client{doer: doer, content: content, author: author, now: now}
+}
+
+// Commit commits the given files (path -> new content) in one atomic
+// operation and uploads their content. baseRevs optionally carries the
+// revision each edit was based on (CVS up-to-date check); paths absent
+// from baseRevs are committed unconditionally.
+func (c *Client) Commit(files map[string][]byte, logMsg string, baseRevs map[string]uint64) ([]CommitResult, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%w: commit with no files", vdb.ErrBadOp)
+	}
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	op := &CommitOp{Author: c.author, Log: logMsg, TimeUnix: c.now().Unix()}
+	for _, p := range paths {
+		op.Files = append(op.Files, CommitFile{
+			Path:    p,
+			Hash:    rcs.HashContent(files[p]),
+			BaseRev: baseRevs[p],
+		})
+	}
+	ans, err := c.doer.Do(op)
+	if err != nil {
+		return nil, err
+	}
+	ca, ok := ans.(CommitAnswer)
+	if !ok {
+		return nil, fmt.Errorf("cvs: commit returned %T", ans)
+	}
+	if len(ca.Results) != len(op.Files) {
+		return nil, fmt.Errorf("cvs: commit answer has %d results for %d files", len(ca.Results), len(op.Files))
+	}
+	var conflict bool
+	for _, r := range ca.Results {
+		if r.Conflict {
+			conflict = true
+			continue
+		}
+		if err := c.content.Push(r.Path, r.Rev, files[r.Path]); err != nil {
+			return ca.Results, fmt.Errorf("cvs: push content for %s@%d: %w", r.Path, r.Rev, err)
+		}
+	}
+	if conflict {
+		return ca.Results, ErrConflict
+	}
+	return ca.Results, nil
+}
+
+// Checkout fetches the head content of the given paths, verified
+// end to end.
+func (c *Client) Checkout(paths ...string) (map[string][]byte, error) {
+	return c.checkout(&CheckoutOp{Paths: paths})
+}
+
+// CheckoutRev fetches the given revision of the given paths.
+func (c *Client) CheckoutRev(rev uint64, paths ...string) (map[string][]byte, error) {
+	return c.checkout(&CheckoutOp{Paths: paths, Rev: rev})
+}
+
+// CheckoutTag fetches the revisions pinned under tag.
+func (c *Client) CheckoutTag(tag string, paths ...string) (map[string][]byte, error) {
+	return c.checkout(&CheckoutOp{Paths: paths, Tag: tag})
+}
+
+func (c *Client) checkout(op *CheckoutOp) (map[string][]byte, error) {
+	ans, err := c.doer.Do(op)
+	if err != nil {
+		return nil, err
+	}
+	ca, ok := ans.(CheckoutAnswer)
+	if !ok {
+		return nil, fmt.Errorf("cvs: checkout returned %T", ans)
+	}
+	out := make(map[string][]byte, len(ca.Files))
+	for _, st := range ca.Files {
+		if !st.Found {
+			return nil, fmt.Errorf("%w: %s", ErrNoFile, st.Path)
+		}
+		if st.Dead && op.Rev == 0 && op.Tag == "" {
+			return nil, fmt.Errorf("%w: %s (removed at revision %d)", ErrNoFile, st.Path, st.Rev)
+		}
+		content, err := c.content.Fetch(st.Path, st.Rev, st.Hash)
+		if err != nil {
+			return nil, fmt.Errorf("cvs: fetch %s@%d: %w", st.Path, st.Rev, err)
+		}
+		if rcs.HashContent(content) != st.Hash {
+			return nil, fmt.Errorf("%w: %s@%d", ErrContentTampered, st.Path, st.Rev)
+		}
+		out[st.Path] = content
+	}
+	return out, nil
+}
+
+// Status returns the authenticated head status of paths without
+// fetching content.
+func (c *Client) Status(paths ...string) ([]FileStatus, error) {
+	ans, err := c.doer.Do(&CheckoutOp{Paths: paths})
+	if err != nil {
+		return nil, err
+	}
+	ca, ok := ans.(CheckoutAnswer)
+	if !ok {
+		return nil, fmt.Errorf("cvs: status returned %T", ans)
+	}
+	return ca.Files, nil
+}
+
+// Log returns the authenticated revision history of path, newest
+// first (matching `cvs log`).
+func (c *Client) Log(path string) ([]RevisionRecord, error) {
+	ans, err := c.doer.Do(&LogOp{Path: path})
+	if err != nil {
+		return nil, err
+	}
+	la, ok := ans.(LogAnswer)
+	if !ok {
+		return nil, fmt.Errorf("cvs: log returned %T", ans)
+	}
+	out := make([]RevisionRecord, len(la.Revisions))
+	for i, r := range la.Revisions {
+		out[len(out)-1-i] = r
+	}
+	return out, nil
+}
+
+// List returns the authenticated head status of every file.
+func (c *Client) List() ([]FileStatus, error) { return c.list("") }
+
+// ListPrefix returns the authenticated head status of every file under
+// the given path prefix (directory-style listing).
+func (c *Client) ListPrefix(prefix string) ([]FileStatus, error) { return c.list(prefix) }
+
+func (c *Client) list(prefix string) ([]FileStatus, error) {
+	ans, err := c.doer.Do(&ListOp{Prefix: prefix})
+	if err != nil {
+		return nil, err
+	}
+	la, ok := ans.(ListAnswer)
+	if !ok {
+		return nil, fmt.Errorf("cvs: list returned %T", ans)
+	}
+	return la.Files, nil
+}
+
+// Remove removes files from the repository head (their history stays
+// checkable and a later Commit resurrects them), in one atomic
+// verified operation.
+func (c *Client) Remove(logMsg string, paths ...string) ([]RemoveResult, error) {
+	ans, err := c.doer.Do(&RemoveOp{Paths: paths, Author: c.author, Log: logMsg, TimeUnix: c.now().Unix()})
+	if err != nil {
+		return nil, err
+	}
+	ra, ok := ans.(RemoveAnswer)
+	if !ok {
+		return nil, fmt.Errorf("cvs: remove returned %T", ans)
+	}
+	return ra.Results, nil
+}
+
+// Diff returns the verified line diff of path between two revisions
+// (revB == 0 means the head). Both sides are checked out with full
+// verification before diffing locally.
+func (c *Client) Diff(path string, revA, revB uint64) (*diff.Patch, error) {
+	a, err := c.CheckoutRev(revA, path)
+	if err != nil {
+		return nil, fmt.Errorf("cvs: diff left side: %w", err)
+	}
+	var b map[string][]byte
+	if revB == 0 {
+		b, err = c.Checkout(path)
+	} else {
+		b, err = c.CheckoutRev(revB, path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cvs: diff right side: %w", err)
+	}
+	return diff.Strings(string(a[path]), string(b[path])), nil
+}
+
+// UpdateResult reports a CVS update (merge of the repository head
+// into a locally edited file).
+type UpdateResult struct {
+	// Merged is the merge output; with conflicts it contains marker
+	// lines that must be resolved before committing.
+	Merged []byte
+	// Conflicts is the number of conflict regions.
+	Conflicts int
+	// HeadRev is the repository head revision merged against; commit
+	// the resolved result with BaseRev = HeadRev.
+	HeadRev uint64
+	// UpToDate is true when the local base already was the head (no
+	// merge happened; Merged == local).
+	UpToDate bool
+}
+
+// Update implements the `cvs update` workflow: the caller edited
+// localContent starting from revision baseRev, someone else has
+// committed since, and the repository head must be merged in (three-way
+// merge, with conflict markers on overlap). Every revision involved is
+// fetched with full verification.
+func (c *Client) Update(path string, localContent []byte, baseRev uint64) (*UpdateResult, error) {
+	if baseRev == 0 {
+		return nil, fmt.Errorf("%w: update needs the base revision", vdb.ErrBadOp)
+	}
+	st, err := c.Status(path)
+	if err != nil {
+		return nil, err
+	}
+	if !st[0].Found || st[0].Dead {
+		return nil, fmt.Errorf("%w: %s", ErrNoFile, path)
+	}
+	head := st[0].Rev
+	if head == baseRev {
+		return &UpdateResult{Merged: localContent, HeadRev: head, UpToDate: true}, nil
+	}
+	baseDoc, err := c.CheckoutRev(baseRev, path)
+	if err != nil {
+		return nil, fmt.Errorf("cvs: update base: %w", err)
+	}
+	headDoc, err := c.CheckoutRev(head, path)
+	if err != nil {
+		return nil, fmt.Errorf("cvs: update head: %w", err)
+	}
+	m := diff.Merge3(string(baseDoc[path]), string(localContent), string(headDoc[path]))
+	return &UpdateResult{
+		Merged:    []byte(m.Merged()),
+		Conflicts: m.Conflicts,
+		HeadRev:   head,
+	}, nil
+}
+
+// Tag pins the current heads of paths under tag.
+func (c *Client) Tag(tag string, paths ...string) ([]FileStatus, error) {
+	ans, err := c.doer.Do(&TagOp{Tag: tag, Paths: paths})
+	if err != nil {
+		return nil, err
+	}
+	ta, ok := ans.(TagAnswer)
+	if !ok {
+		return nil, fmt.Errorf("cvs: tag returned %T", ans)
+	}
+	return ta.Tagged, nil
+}

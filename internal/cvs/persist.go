@@ -1,0 +1,95 @@
+package cvs
+
+import (
+	"fmt"
+	"sort"
+
+	"trustedcvs/internal/digest"
+	"trustedcvs/internal/rcs"
+)
+
+// StoreSnapshot is the persistent form of the content store: the
+// unique blobs plus, per path, the ordered revision hashes of its RCS
+// chain. Restore re-commits the chains, reproducing the delta
+// structure deterministically.
+type StoreSnapshot struct {
+	Blobs [][]byte
+	Files []FileChain
+}
+
+// FileChain records one path's in-order revision content hashes.
+type FileChain struct {
+	Path   string
+	Hashes []digest.Digest
+}
+
+// Snapshot captures the store.
+func (s *Store) Snapshot() (*StoreSnapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := &StoreSnapshot{}
+	seen := map[digest.Digest]bool{}
+	addBlob := func(content []byte) {
+		h := rcs.HashContent(content)
+		if !seen[h] {
+			seen[h] = true
+			snap.Blobs = append(snap.Blobs, append([]byte(nil), content...))
+		}
+	}
+	for _, path := range s.archive.Paths() {
+		f, err := s.archive.File(path, false)
+		if err != nil {
+			return nil, err
+		}
+		chain := FileChain{Path: path}
+		for rev := 1; rev <= f.Revisions(); rev++ {
+			content, meta, err := f.At(rev)
+			if err != nil {
+				return nil, fmt.Errorf("cvs: snapshot %s@%d: %w", path, rev, err)
+			}
+			addBlob(content)
+			chain.Hashes = append(chain.Hashes, meta.Hash)
+		}
+		snap.Files = append(snap.Files, chain)
+	}
+	// Include blobs that are not part of any archive chain (pushed out
+	// of order under a fork, or superseded).
+	extras := s.blobs.Digests()
+	sort.Slice(extras, func(i, j int) bool { return extras[i].String() < extras[j].String() })
+	for _, h := range extras {
+		if !seen[h] {
+			content, err := s.blobs.Get(h)
+			if err != nil {
+				return nil, err
+			}
+			seen[h] = true
+			snap.Blobs = append(snap.Blobs, content)
+		}
+	}
+	return snap, nil
+}
+
+// RestoreStore rebuilds a content store from a snapshot.
+func RestoreStore(snap *StoreSnapshot) (*Store, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("cvs: nil store snapshot")
+	}
+	s := NewStore()
+	byHash := make(map[digest.Digest][]byte, len(snap.Blobs))
+	for _, b := range snap.Blobs {
+		byHash[rcs.HashContent(b)] = b
+		s.blobs.Put(b)
+	}
+	for _, chain := range snap.Files {
+		for i, h := range chain.Hashes {
+			content, ok := byHash[h]
+			if !ok {
+				return nil, fmt.Errorf("cvs: restore %s@%d: blob %s missing", chain.Path, i+1, h.Short())
+			}
+			if err := s.Push(chain.Path, uint64(i+1), content); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}

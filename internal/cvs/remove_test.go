@@ -1,0 +1,130 @@
+package cvs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"trustedcvs/internal/vdb"
+)
+
+func TestRemoveAndResurrect(t *testing.T) {
+	c, _, _ := newTestClient(t, "alice")
+	if _, err := c.Commit(map[string][]byte{"f": []byte("v1\n")}, "add", nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Remove("drop f", "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Rev != 2 {
+		t.Fatalf("remove results: %+v", res)
+	}
+	// Head checkout now fails like a missing file.
+	if _, err := c.Checkout("f"); !errors.Is(err, ErrNoFile) {
+		t.Fatalf("checkout of removed file: %v", err)
+	}
+	// Status shows the tombstone.
+	st, err := c.Status("f")
+	if err != nil || !st[0].Found || !st[0].Dead || st[0].Rev != 2 {
+		t.Fatalf("status: %+v %v", st, err)
+	}
+	// History — including the pre-removal content — stays verifiable.
+	got, err := c.CheckoutRev(1, "f")
+	if err != nil || string(got["f"]) != "v1\n" {
+		t.Fatalf("historical checkout after removal: %q %v", got["f"], err)
+	}
+	log, err := c.Log("f")
+	if err != nil || len(log) != 2 || !log[0].Dead || log[0].Rev != 2 {
+		t.Fatalf("log after removal: %+v %v", log, err)
+	}
+	// A new commit resurrects the file at revision 3.
+	cr, err := c.Commit(map[string][]byte{"f": []byte("reborn\n")}, "resurrect", nil)
+	if err != nil || cr[0].Rev != 3 {
+		t.Fatalf("resurrection: %+v %v", cr, err)
+	}
+	got, err = c.Checkout("f")
+	if err != nil || string(got["f"]) != "reborn\n" {
+		t.Fatalf("checkout after resurrection: %q %v", got["f"], err)
+	}
+}
+
+func TestRemoveMissingAndDouble(t *testing.T) {
+	c, _, _ := newTestClient(t, "alice")
+	res, err := c.Remove("", "ghost")
+	if err != nil || res[0].Rev != 0 {
+		t.Fatalf("remove of missing file: %+v %v", res, err)
+	}
+	if _, err := c.Commit(map[string][]byte{"f": []byte("x\n")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Remove("", "f"); err != nil {
+		t.Fatal(err)
+	}
+	// Removing again is a no-op, not a new revision.
+	res, err = c.Remove("", "f")
+	if err != nil || res[0].Rev != 0 {
+		t.Fatalf("double remove: %+v %v", res, err)
+	}
+	st, _ := c.Status("f")
+	if st[0].Rev != 2 {
+		t.Fatalf("double remove bumped the revision: %+v", st)
+	}
+}
+
+func TestRemoveOpValidation(t *testing.T) {
+	db := vdb.New(0)
+	for name, op := range map[string]vdb.Op{
+		"no paths":  &RemoveOp{},
+		"dup paths": &RemoveOp{Paths: []string{"a", "a"}},
+		"bad path":  &RemoveOp{Paths: []string{""}},
+	} {
+		if _, _, err := db.Apply(op); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestDiffBetweenRevisions(t *testing.T) {
+	c, _, _ := newTestClient(t, "alice")
+	if _, err := c.Commit(map[string][]byte{"f": []byte("a\nb\nc\n")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Commit(map[string][]byte{"f": []byte("a\nB\nc\nd\n")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Diff("f", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, del := p.Stats()
+	if ins != 2 || del != 1 {
+		t.Fatalf("diff stats: +%d -%d\n%s", ins, del, p)
+	}
+	if !strings.Contains(p.String(), "+B") || !strings.Contains(p.String(), "-b") {
+		t.Fatalf("diff rendering:\n%s", p)
+	}
+	// Diff against head (revB = 0).
+	pHead, err := c.Diff("f", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pHead.String() != p.String() {
+		t.Fatal("diff to head should equal diff to rev 2")
+	}
+	// Identity diff.
+	same, err := c.Diff("f", 2, 2)
+	if err != nil || !same.IsIdentity() {
+		t.Fatalf("self-diff: %v %v", same, err)
+	}
+}
+
+func TestDiffMissingRevision(t *testing.T) {
+	c, _, _ := newTestClient(t, "alice")
+	if _, err := c.Commit(map[string][]byte{"f": []byte("x\n")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Diff("f", 5, 0); err == nil {
+		t.Fatal("diff against a missing revision must fail")
+	}
+}

@@ -1,0 +1,92 @@
+package cvs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"trustedcvs/internal/digest"
+	"trustedcvs/internal/rcs"
+)
+
+// Store is the server-side unauthenticated content store. It keeps
+// two structures: an RCS archive (head text + reverse deltas per
+// file, the realistic CVS storage layout) for in-order revision
+// chains, and a content-addressed blob store that retains every pushed
+// revision — including conflicting (path, rev) pairs a forking server
+// accumulates across diverged histories.
+//
+// Store trusts nothing and is trusted with nothing: clients re-hash
+// every fetched revision against the authenticated records.
+type Store struct {
+	mu      sync.Mutex
+	archive *rcs.Archive
+	blobs   *rcs.BlobStore
+}
+
+// NewStore creates an empty content store.
+func NewStore() *Store {
+	return &Store{archive: rcs.NewArchive(), blobs: rcs.NewBlobStore()}
+}
+
+// Push stores content as revision rev of path. In-order revisions
+// extend the delta-compressed RCS chain; out-of-order pushes (which
+// only arise when the server itself maintains diverged histories) are
+// retained in the blob store alone.
+func (s *Store) Push(path string, rev uint64, content []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs.Put(content)
+	f, err := s.archive.File(path, true)
+	if err != nil {
+		return err
+	}
+	if rev == uint64(f.Revisions()+1) {
+		// Metadata here is irrelevant — the authenticated revision
+		// records are authoritative — so it is left zero.
+		f.Commit(content, "", "", time.Time{})
+	}
+	return nil
+}
+
+// Fetch returns the content of path at rev whose hash matches. The
+// blob store resolves it directly; the archive is the fallback for
+// blobs pushed by older store versions.
+func (s *Store) Fetch(path string, rev uint64, hash digest.Digest) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, err := s.blobs.Get(hash); err == nil {
+		return b, nil
+	}
+	f, err := s.archive.File(path, false)
+	if err != nil {
+		return nil, fmt.Errorf("cvs: no content for %s@%d (%s)", path, rev, hash.Short())
+	}
+	content, _, err := f.At(int(rev))
+	if err != nil {
+		return nil, err
+	}
+	return content, nil
+}
+
+// FetchRev returns the archived content of path at rev without a hash
+// (used by the CLI's history commands, which verify against the
+// authenticated log afterwards).
+func (s *Store) FetchRev(path string, rev uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.archive.File(path, false)
+	if err != nil {
+		return nil, err
+	}
+	content, _, err := f.At(int(rev))
+	return content, err
+}
+
+// Fork returns an independent copy for the adversary's partition
+// attack: both forks serve the shared history, then diverge.
+func (s *Store) Fork() *Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Store{archive: s.archive.Fork(), blobs: s.blobs.Clone()}
+}

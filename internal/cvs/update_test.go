@@ -1,0 +1,106 @@
+package cvs
+
+import (
+	"strings"
+	"testing"
+
+	"trustedcvs/internal/diff"
+)
+
+// TestUpdateWorkflowCleanMerge plays the full CVS concurrent-edit
+// story: both users edit from revision 1 in disjoint regions; the
+// loser of the commit race updates, merges cleanly, and commits with
+// the up-to-date check satisfied.
+func TestUpdateWorkflowCleanMerge(t *testing.T) {
+	a, b := twoClients(t)
+	base := "top\nmiddle\nbottom\n"
+	if _, err := a.Commit(map[string][]byte{"f": []byte(base)}, "r1", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Alice edits the top and wins the race.
+	if _, err := a.Commit(map[string][]byte{"f": []byte("TOP\nmiddle\nbottom\n")}, "r2",
+		map[string]uint64{"f": 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Bob edited the bottom, also from rev 1; his commit conflicts.
+	bobLocal := []byte("top\nmiddle\nBOTTOM\n")
+	if _, err := b.Commit(map[string][]byte{"f": bobLocal}, "r2b", map[string]uint64{"f": 1}); err != ErrConflict {
+		t.Fatalf("want ErrConflict, got %v", err)
+	}
+	// Bob updates: the merge is clean and contains both edits.
+	up, err := b.Update("f", bobLocal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.UpToDate || up.Conflicts != 0 || up.HeadRev != 2 {
+		t.Fatalf("update: %+v", up)
+	}
+	if string(up.Merged) != "TOP\nmiddle\nBOTTOM\n" {
+		t.Fatalf("merged: %q", up.Merged)
+	}
+	// Bob commits the merged result against the head revision.
+	res, err := b.Commit(map[string][]byte{"f": up.Merged}, "merge", map[string]uint64{"f": up.HeadRev})
+	if err != nil || res[0].Rev != 3 {
+		t.Fatalf("merged commit: %+v %v", res, err)
+	}
+	got, err := a.Checkout("f")
+	if err != nil || string(got["f"]) != "TOP\nmiddle\nBOTTOM\n" {
+		t.Fatalf("final head: %q %v", got["f"], err)
+	}
+}
+
+func TestUpdateConflict(t *testing.T) {
+	a, b := twoClients(t)
+	if _, err := a.Commit(map[string][]byte{"f": []byte("line\n")}, "r1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Commit(map[string][]byte{"f": []byte("alice\n")}, "r2", nil); err != nil {
+		t.Fatal(err)
+	}
+	up, err := b.Update("f", []byte("bob\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Conflicts != 1 {
+		t.Fatalf("want 1 conflict: %+v\n%s", up, up.Merged)
+	}
+	if !diff.HasConflictMarkers(string(up.Merged)) {
+		t.Fatalf("merged output lacks markers:\n%s", up.Merged)
+	}
+	if !strings.Contains(string(up.Merged), "bob\n") || !strings.Contains(string(up.Merged), "alice\n") {
+		t.Fatalf("both sides must appear:\n%s", up.Merged)
+	}
+}
+
+func TestUpdateUpToDate(t *testing.T) {
+	a, _ := twoClients(t)
+	if _, err := a.Commit(map[string][]byte{"f": []byte("x\n")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	up, err := a.Update("f", []byte("local edit\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.UpToDate || string(up.Merged) != "local edit\n" {
+		t.Fatalf("up-to-date update: %+v", up)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	a, _ := twoClients(t)
+	if _, err := a.Update("ghost", []byte("x"), 1); err == nil {
+		t.Fatal("update of missing file must fail")
+	}
+	if _, err := a.Commit(map[string][]byte{"f": []byte("x\n")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Update("f", []byte("x"), 0); err == nil {
+		t.Fatal("update without base revision must fail")
+	}
+	if _, err := a.Remove("", "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Update("f", []byte("x"), 1); err == nil {
+		t.Fatal("update of removed file must fail")
+	}
+}

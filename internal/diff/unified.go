@@ -1,0 +1,104 @@
+package diff
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Unified renders the patch in unified diff format (like `diff -u` /
+// `cvs diff -u`): file headers, @@ hunk headers, and up to context
+// lines of surrounding equal text per hunk.
+func (p *Patch) Unified(nameA, nameB string, context int) string {
+	if context < 0 {
+		context = 0
+	}
+	type line struct {
+		op   Op
+		text string
+	}
+	var lines []line
+	for _, e := range p.Edits {
+		for _, l := range e.Lines {
+			lines = append(lines, line{e.Op, l})
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- %s\n+++ %s\n", nameA, nameB)
+
+	aPos, bPos := 1, 1 // 1-based positions in each document
+	i := 0
+	for i < len(lines) {
+		// Skip the equal run before the next change.
+		start := i
+		for i < len(lines) && lines[i].op == Equal {
+			i++
+		}
+		if i == len(lines) {
+			break
+		}
+		// Rewind to include leading context.
+		lead := i - start
+		if lead > context {
+			lead = context
+		}
+		skipped := (i - start) - lead
+		aPos += skipped
+		bPos += skipped
+		hunkStart := i - lead
+
+		// Extend the hunk: changes plus equal runs shorter than
+		// 2*context that would otherwise split hunks needlessly.
+		j := i
+		for j < len(lines) {
+			for j < len(lines) && lines[j].op != Equal {
+				j++
+			}
+			eq := j
+			for eq < len(lines) && lines[eq].op == Equal {
+				eq++
+			}
+			if eq == len(lines) || eq-j > 2*context {
+				// Close with trailing context.
+				trail := eq - j
+				if trail > context {
+					trail = context
+				}
+				j += trail
+				break
+			}
+			j = eq
+		}
+
+		// Emit the hunk.
+		aCount, bCount := 0, 0
+		for _, l := range lines[hunkStart:j] {
+			switch l.op {
+			case Equal:
+				aCount++
+				bCount++
+			case Delete:
+				aCount++
+			case Insert:
+				bCount++
+			}
+		}
+		fmt.Fprintf(&b, "@@ -%d,%d +%d,%d @@\n", aPos, aCount, bPos, bCount)
+		for _, l := range lines[hunkStart:j] {
+			switch l.op {
+			case Equal:
+				b.WriteByte(' ')
+			case Delete:
+				b.WriteByte('-')
+			case Insert:
+				b.WriteByte('+')
+			}
+			b.WriteString(strings.TrimSuffix(l.text, "\n"))
+			b.WriteByte('\n')
+		}
+		aPos += aCount
+		bPos += bCount
+		i = j
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package diff
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestUnifiedBasic(t *testing.T) {
+	a := "one\ntwo\nthree\nfour\nfive\n"
+	b := "one\nTWO\nthree\nfour\nfive\n"
+	out := Strings(a, b).Unified("a.txt", "b.txt", 1)
+	want := `--- a.txt
++++ b.txt
+@@ -1,3 +1,3 @@
+ one
+-two
++TWO
+ three
+`
+	if out != want {
+		t.Fatalf("unified:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestUnifiedTwoHunks(t *testing.T) {
+	var sbA, sbB strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&sbA, "line%02d\n", i)
+		if i == 2 {
+			sbB.WriteString("CHANGED-A\n")
+		} else if i == 17 {
+			sbB.WriteString("CHANGED-B\n")
+		} else {
+			fmt.Fprintf(&sbB, "line%02d\n", i)
+		}
+	}
+	out := Strings(sbA.String(), sbB.String()).Unified("a", "b", 2)
+	if got := strings.Count(out, "@@"); got != 4 { // 2 hunks × 2 markers
+		t.Fatalf("want 2 hunks, markers=%d:\n%s", got, out)
+	}
+	for _, want := range []string{"-line02", "+CHANGED-A", "-line17", "+CHANGED-B", " line01", " line04"} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// Far-apart context lines stay out of the hunks.
+	if strings.Contains(out, " line09\n") {
+		t.Fatalf("mid-file context leaked into a hunk:\n%s", out)
+	}
+}
+
+func TestUnifiedMergesNearbyHunks(t *testing.T) {
+	a := "a\nb\nc\nd\ne\n"
+	b := "A\nb\nc\nd\nE\n"
+	// With context 3 the two changes are close enough to share a hunk.
+	out := Strings(a, b).Unified("x", "y", 3)
+	if got := strings.Count(out, "@@"); got != 2 {
+		t.Fatalf("want 1 merged hunk:\n%s", out)
+	}
+}
+
+func TestUnifiedIdentity(t *testing.T) {
+	out := Strings("same\n", "same\n").Unified("a", "b", 3)
+	if strings.Contains(out, "@@") {
+		t.Fatalf("identity diff has hunks:\n%s", out)
+	}
+}
+
+func TestUnifiedHeaderCounts(t *testing.T) {
+	// Pure insertion into an empty file.
+	out := Strings("", "x\ny\n").Unified("a", "b", 3)
+	if !strings.Contains(out, "@@ -1,0 +1,2 @@") {
+		t.Fatalf("insertion header:\n%s", out)
+	}
+	// Pure deletion to empty.
+	out = Strings("x\ny\n", "").Unified("a", "b", 3)
+	if !strings.Contains(out, "@@ -1,2 +1,0 @@") {
+		t.Fatalf("deletion header:\n%s", out)
+	}
+}

@@ -1,0 +1,97 @@
+package digest
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZero(t *testing.T) {
+	var d Digest
+	if !d.IsZero() {
+		t.Fatal("zero digest should report IsZero")
+	}
+	if OfBytes(DomainLeaf, nil).IsZero() {
+		t.Fatal("hash of empty input should not be the zero digest")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	a := OfBytes(DomainLeaf, []byte("x"))
+	b := OfBytes(DomainInternal, []byte("x"))
+	if a == b {
+		t.Fatal("same input under different domains must hash differently")
+	}
+}
+
+func TestLengthPrefixing(t *testing.T) {
+	// Without length prefixes these two would collide:
+	// ("ab","c") vs ("a","bc").
+	a := NewHasher(DomainLeaf).String("ab").String("c").Sum()
+	b := NewHasher(DomainLeaf).String("a").String("bc").Sum()
+	if a == b {
+		t.Fatal("length prefixing failed: concatenation collision")
+	}
+}
+
+func TestHasherDeterminism(t *testing.T) {
+	mk := func() Digest {
+		return NewHasher(DomainState).String("k").Uint64(42).Digest(OfBytes(DomainLeaf, []byte("v"))).Sum()
+	}
+	if mk() != mk() {
+		t.Fatal("hasher is not deterministic")
+	}
+}
+
+func TestXorAlgebra(t *testing.T) {
+	// XOR must form an abelian group with Zero as identity and every
+	// element self-inverse — the property Protocol II's registers rely
+	// on.
+	id := func(a Digest) bool { return a.Xor(Zero) == a }
+	inv := func(a Digest) bool { return a.Xor(a) == Zero }
+	comm := func(a, b Digest) bool { return a.Xor(b) == b.Xor(a) }
+	assoc := func(a, b, c Digest) bool { return a.Xor(b).Xor(c) == a.Xor(b.Xor(c)) }
+	for name, f := range map[string]any{"identity": id, "selfInverse": inv, "commutative": comm, "associative": assoc} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	d := OfBytes(DomainBlob, []byte("hello"))
+	got, err := Parse(d.String())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got != d {
+		t.Fatalf("round trip mismatch: %s != %s", got, d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("zz"); err == nil {
+		t.Error("want error for non-hex input")
+	}
+	if _, err := Parse("abcd"); err == nil {
+		t.Error("want error for short input")
+	}
+}
+
+func TestShort(t *testing.T) {
+	d := OfBytes(DomainBlob, []byte("hello"))
+	if len(d.Short()) != 8 {
+		t.Fatalf("Short() = %q, want 8 hex chars", d.Short())
+	}
+	if d.String()[:8] != d.Short() {
+		t.Fatal("Short() is not a prefix of String()")
+	}
+}
+
+func TestEmptyStable(t *testing.T) {
+	if Empty() != Empty() {
+		t.Fatal("Empty() must be a constant")
+	}
+	if Empty().IsZero() {
+		t.Fatal("Empty() must not be the zero digest")
+	}
+}

@@ -1,0 +1,445 @@
+// Package driver binds the pure protocol state machines to live
+// transports: a Client wraps one user's state machine, a connection to
+// the (untrusted) server, and — for Protocols I and II — a broadcast
+// channel on which it participates in synchronization rounds.
+//
+// Client implements cvs.Doer and cvs.ContentTransfer, so a cvs.Client
+// on top of it is a fully verified CVS client over the network.
+//
+// Synchronization runs as a barrier: from the moment a client learns
+// of a sync round until it has evaluated all n reports, it starts no
+// new operations. Combined with the broadcast hub's FIFO total order,
+// this realizes the paper's "users do not start a new transaction
+// between the sync-up message and the broadcast", which is what makes
+// the collected register vector a consistent cut of the history.
+package driver
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"trustedcvs/internal/broadcast"
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/core/proto1"
+	"trustedcvs/internal/core/proto2"
+	"trustedcvs/internal/core/proto3"
+	"trustedcvs/internal/digest"
+	"trustedcvs/internal/forensics"
+	"trustedcvs/internal/server"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/transport"
+	"trustedcvs/internal/vdb"
+)
+
+// reportMsg carries one user's sync report for one round over the
+// broadcast channel.
+type reportMsg struct {
+	Initiator sig.UserID
+	Round     uint64
+	ReportI   *core.SyncReportI
+	ReportII  *core.SyncReportII
+}
+
+func init() {
+	gob.Register(&reportMsg{})
+}
+
+type roundKey struct {
+	initiator sig.UserID
+	round     uint64
+}
+
+type roundState struct {
+	reportsI  map[sig.UserID]core.SyncReportI
+	reportsII map[sig.UserID]core.SyncReportII
+	reported  bool // this client has published its own report
+}
+
+// Client is one user's live protocol endpoint.
+type Client struct {
+	proto  server.Protocol
+	conn   transport.Caller
+	bc     broadcast.Channel
+	nUsers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	u1     *proto1.User
+	u2     *proto2.User
+	u3     *proto3.User
+	id     sig.UserID
+	rounds map[roundKey]*roundState
+	seq    uint64
+	failed error
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewP1 builds a Protocol I client. bc must be joined to the same hub
+// as every other user; nUsers is the total user population.
+func NewP1(user *proto1.User, conn transport.Caller, bc broadcast.Channel, nUsers int) *Client {
+	c := newClient(server.P1, conn, bc, nUsers)
+	c.u1 = user
+	c.id = user.ID()
+	c.start()
+	return c
+}
+
+// NewP2 builds a Protocol II client.
+func NewP2(user *proto2.User, conn transport.Caller, bc broadcast.Channel, nUsers int) *Client {
+	c := newClient(server.P2, conn, bc, nUsers)
+	c.u2 = user
+	c.id = user.ID()
+	c.start()
+	return c
+}
+
+// NewP3 builds a Protocol III client. No broadcast channel: epoch
+// duties run over the server connection.
+func NewP3(user *proto3.User, conn transport.Caller) *Client {
+	c := newClient(server.P3, conn, nil, 0)
+	c.u3 = user
+	c.id = user.ID()
+	return c
+}
+
+func newClient(p server.Protocol, conn transport.Caller, bc broadcast.Channel, nUsers int) *Client {
+	c := &Client{
+		proto:  p,
+		conn:   conn,
+		bc:     bc,
+		nUsers: nUsers,
+		rounds: make(map[roundKey]*roundState),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *Client) start() {
+	c.wg.Add(1)
+	go c.recvLoop()
+}
+
+// ID returns the client's user identity.
+func (c *Client) ID() sig.UserID { return c.id }
+
+// Err returns the recorded detection error, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed
+}
+
+// Journal returns the underlying user's transition journal (nil unless
+// enabled on the user before the client was built). Pool journals from
+// all users with forensics.Locate after a detection.
+func (c *Client) Journal() *forensics.Journal {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case c.u1 != nil:
+		return c.u1.Journal()
+	case c.u2 != nil:
+		return c.u2.Journal()
+	}
+	return nil
+}
+
+// Close shuts the client down (the broadcast channel and server
+// connection are closed).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if c.bc != nil {
+		c.bc.Close()
+	}
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Do implements cvs.Doer: it executes one fully verified operation,
+// blocking while a synchronization round is in flight.
+func (c *Client) Do(op vdb.Op) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.rounds) > 0 && c.failed == nil && !c.closed {
+		c.cond.Wait()
+	}
+	if c.failed != nil {
+		return nil, c.failed
+	}
+	if c.closed {
+		return nil, errors.New("driver: client closed")
+	}
+
+	ans, err := c.doOpLocked(op)
+	if err != nil {
+		c.recordFailure(err)
+		return nil, err
+	}
+	if c.needsSyncLocked() {
+		c.seq++
+		key := roundKey{c.id, c.seq}
+		msg := broadcast.Message{From: c.id, Payload: &core.SyncRequest{From: c.id, Round: c.seq}}
+		if err := c.bc.Publish(msg); err != nil {
+			return ans, fmt.Errorf("driver: announce sync: %w", err)
+		}
+		// Register the round and contribute our own report right here,
+		// synchronously: the paper's initiator "does not start a new
+		// transaction between the sync-up message and the broadcast",
+		// and the next Do must block on the open round.
+		c.publishOwnReportLocked(key)
+	}
+	return ans, nil
+}
+
+// doOpLocked performs the protocol exchange for one operation.
+func (c *Client) doOpLocked(op vdb.Op) (any, error) {
+	switch c.proto {
+	case server.P1:
+		raw, err := c.conn.Call(c.u1.Request(op))
+		if err != nil {
+			return nil, err
+		}
+		resp, ok := raw.(*core.OpResponseI)
+		if !ok {
+			return nil, core.Detect(core.ProtocolViolation, c.id, c.u1.LCtr(), fmt.Errorf("bad response type %T", raw))
+		}
+		ack, ans, err := c.u1.HandleResponse(op, resp)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.conn.Call(ack); err != nil {
+			return nil, err
+		}
+		return ans, nil
+
+	case server.P2:
+		raw, err := c.conn.Call(c.u2.Request(op))
+		if err != nil {
+			return nil, err
+		}
+		resp, ok := raw.(*core.OpResponseII)
+		if !ok {
+			return nil, core.Detect(core.ProtocolViolation, c.id, c.u2.LCtr(), fmt.Errorf("bad response type %T", raw))
+		}
+		return c.u2.HandleResponse(op, resp)
+
+	case server.P3:
+		raw, err := c.conn.Call(c.u3.Request(op))
+		if err != nil {
+			return nil, err
+		}
+		resp, ok := raw.(*core.OpResponseII)
+		if !ok {
+			return nil, core.Detect(core.ProtocolViolation, c.id, c.u3.LCtr(), fmt.Errorf("bad response type %T", raw))
+		}
+		out, err := c.u3.HandleResponse(op, resp)
+		if err != nil {
+			return nil, err
+		}
+		if out.CheckEpoch != nil {
+			if err := c.runEpochCheckLocked(*out.CheckEpoch); err != nil {
+				return nil, err
+			}
+		}
+		return out.Answer, nil
+	}
+	return nil, fmt.Errorf("driver: unknown protocol %v", c.proto)
+}
+
+func (c *Client) runEpochCheckLocked(e uint64) error {
+	var prev *core.BackupsResponse
+	if e > 0 {
+		raw, err := c.conn.Call(c.u3.BackupsRequest(e - 1))
+		if err != nil {
+			return err
+		}
+		r, ok := raw.(*core.BackupsResponse)
+		if !ok {
+			return core.Detect(core.ProtocolViolation, c.id, c.u3.LCtr(), fmt.Errorf("bad backups response %T", raw))
+		}
+		prev = r
+	}
+	raw, err := c.conn.Call(c.u3.BackupsRequest(e))
+	if err != nil {
+		return err
+	}
+	cur, ok := raw.(*core.BackupsResponse)
+	if !ok {
+		return core.Detect(core.ProtocolViolation, c.id, c.u3.LCtr(), fmt.Errorf("bad backups response %T", raw))
+	}
+	return c.u3.CompleteEpochCheck(e, prev, cur)
+}
+
+func (c *Client) needsSyncLocked() bool {
+	switch c.proto {
+	case server.P1:
+		return c.u1.NeedsSync()
+	case server.P2:
+		return c.u2.NeedsSync()
+	}
+	return false
+}
+
+// recvLoop processes broadcast traffic: sync announcements and
+// reports.
+func (c *Client) recvLoop() {
+	defer c.wg.Done()
+	for msg := range c.bc.Recv() {
+		switch p := msg.Payload.(type) {
+		case *core.SyncRequest:
+			c.onSyncRequest(roundKey{p.From, p.Round})
+		case *reportMsg:
+			c.onReport(p)
+		}
+	}
+	// Channel closed: wake any waiter so Close can finish.
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *Client) onSyncRequest(key roundKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.publishOwnReportLocked(key)
+}
+
+// publishOwnReportLocked snapshots this user's registers for the round
+// and broadcasts them (once).
+func (c *Client) publishOwnReportLocked(key roundKey) {
+	rs := c.roundLocked(key)
+	if rs.reported {
+		return
+	}
+	rs.reported = true
+	m := &reportMsg{Initiator: key.initiator, Round: key.round}
+	switch c.proto {
+	case server.P1:
+		r := c.u1.SyncReport()
+		m.ReportI = &r
+	case server.P2:
+		r := c.u2.SyncReport()
+		m.ReportII = &r
+	}
+	// Publish outside the lock is unnecessary: the hub never blocks
+	// (deep buffers) and ordering benefits from staying inside.
+	if err := c.bc.Publish(broadcast.Message{From: c.id, Payload: m}); err != nil {
+		c.recordFailure(fmt.Errorf("driver: publish sync report: %w", err))
+	}
+}
+
+func (c *Client) roundLocked(key roundKey) *roundState {
+	rs, ok := c.rounds[key]
+	if !ok {
+		rs = &roundState{
+			reportsI:  make(map[sig.UserID]core.SyncReportI),
+			reportsII: make(map[sig.UserID]core.SyncReportII),
+		}
+		c.rounds[key] = rs
+	}
+	return rs
+}
+
+func (c *Client) onReport(m *reportMsg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := roundKey{m.Initiator, m.Round}
+	rs := c.roundLocked(key)
+	// Defensive: if a report for an unseen round arrives first (cannot
+	// happen with a FIFO hub), contribute our own as well.
+	c.publishOwnReportLocked(key)
+
+	switch {
+	case m.ReportI != nil:
+		rs.reportsI[m.ReportI.User] = *m.ReportI
+	case m.ReportII != nil:
+		rs.reportsII[m.ReportII.User] = *m.ReportII
+	}
+	if len(rs.reportsI) < c.nUsers && len(rs.reportsII) < c.nUsers {
+		return
+	}
+	// Round complete: evaluate and release waiters.
+	var err error
+	switch c.proto {
+	case server.P1:
+		reports := make([]core.SyncReportI, 0, c.nUsers)
+		for _, r := range rs.reportsI {
+			reports = append(reports, r)
+		}
+		err = c.u1.CompleteSync(reports)
+	case server.P2:
+		reports := make([]core.SyncReportII, 0, c.nUsers)
+		for _, r := range rs.reportsII {
+			reports = append(reports, r)
+		}
+		err = c.u2.CompleteSync(reports)
+	}
+	delete(c.rounds, key)
+	if err != nil {
+		c.recordFailure(err)
+	}
+	c.cond.Broadcast()
+}
+
+// recordFailure pins the first failure; detection is terminal (the
+// paper's users "terminate and report an error").
+func (c *Client) recordFailure(err error) {
+	if c.failed == nil {
+		c.failed = err
+		c.cond.Broadcast()
+	}
+}
+
+// WaitIdle blocks until no synchronization round is in flight (or a
+// failure is recorded). Tests and examples use it to observe sync
+// outcomes deterministically.
+func (c *Client) WaitIdle(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.rounds) > 0 && c.failed == nil && !c.closed {
+		if time.Now().After(deadline) {
+			return errors.New("driver: WaitIdle timeout")
+		}
+		// Poor man's timed wait: poll with the cond.
+		c.mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+		c.mu.Lock()
+	}
+	return c.failed
+}
+
+// Push implements cvs.ContentTransfer over the server connection.
+func (c *Client) Push(path string, rev uint64, content []byte) error {
+	resp, err := c.conn.Call(&core.PushContentRequest{Path: path, Rev: rev, Content: content})
+	if err != nil {
+		return err
+	}
+	if _, ok := resp.(*core.OKResponse); !ok {
+		return fmt.Errorf("driver: push returned %T", resp)
+	}
+	return nil
+}
+
+// Fetch implements cvs.ContentTransfer over the server connection.
+func (c *Client) Fetch(path string, rev uint64, hash digest.Digest) ([]byte, error) {
+	resp, err := c.conn.Call(&core.FetchContentRequest{Path: path, Rev: rev, Hash: hash})
+	if err != nil {
+		return nil, err
+	}
+	cr, ok := resp.(*core.ContentResponse)
+	if !ok {
+		return nil, fmt.Errorf("driver: fetch returned %T", resp)
+	}
+	return cr.Content, nil
+}

@@ -1,0 +1,254 @@
+package driver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"trustedcvs/internal/adversary"
+	"trustedcvs/internal/broadcast"
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/core/proto1"
+	"trustedcvs/internal/core/proto2"
+	"trustedcvs/internal/core/proto3"
+	"trustedcvs/internal/cvs"
+	"trustedcvs/internal/server"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/transport"
+	"trustedcvs/internal/vdb"
+)
+
+// cluster is a live test fixture: a server (optionally adversarial), a
+// broadcast hub, and n connected clients with cvs on top.
+type cluster struct {
+	t       *testing.T
+	srv     *transport.Server
+	hub     *broadcast.Hub
+	clients []*Client
+	cvs     []*cvs.Client
+}
+
+func newCluster(t *testing.T, proto server.Protocol, n int, k uint64, adv *adversary.Config) *cluster {
+	t.Helper()
+	db := vdb.New(0)
+	signers, ring, err := sig.DeterministicSigners(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs server.Server
+	switch proto {
+	case server.P1:
+		hs = server.NewP1(db, proto1.Initialize(signers[0], db.Root()))
+	case server.P2:
+		hs = server.NewP2(db)
+	case server.P3:
+		hs = server.NewP3(db)
+	}
+	if adv != nil {
+		hs = adversary.Wrap(hs, *adv)
+	}
+	store := cvs.NewStore()
+	srv, err := transport.Listen("127.0.0.1:0", NewHandler(hs, store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &cluster{t: t, srv: srv, hub: broadcast.NewHub()}
+	for i := 0; i < n; i++ {
+		conn, err := transport.Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c *Client
+		switch proto {
+		case server.P1:
+			c = NewP1(proto1.NewUser(signers[i], ring, k), conn, cl.hub.Join(), n)
+		case server.P2:
+			c = NewP2(proto2.NewUser(sig.UserID(i), db.Root(), k), conn, cl.hub.Join(), n)
+		case server.P3:
+			c = NewP3(proto3.NewUser(signers[i], ring, db.Root()), conn)
+		}
+		cl.clients = append(cl.clients, c)
+		cl.cvs = append(cl.cvs, cvs.NewClient(c, c, fmt.Sprintf("user%d", i), func() time.Time {
+			return time.Unix(1144065600, 0)
+		}))
+	}
+	t.Cleanup(func() {
+		for _, c := range cl.clients {
+			c.Close()
+		}
+		cl.hub.Close()
+		cl.srv.Close()
+	})
+	return cl
+}
+
+func (c *cluster) waitAllIdle() error {
+	for _, cl := range c.clients {
+		if err := cl.WaitIdle(5 * time.Second); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestLiveP2CommitCheckout(t *testing.T) {
+	cl := newCluster(t, server.P2, 3, 4, nil)
+	if _, err := cl.cvs[0].Commit(map[string][]byte{"main.c": []byte("int main(){}\n")}, "init", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.cvs[1].Checkout("main.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got["main.c"]) != "int main(){}\n" {
+		t.Fatalf("checkout: %q", got["main.c"])
+	}
+	// Enough ops to force at least one sync round; must stay clean.
+	for i := 0; i < 10; i++ {
+		if _, err := cl.cvs[i%3].Commit(map[string][]byte{"main.c": []byte(fmt.Sprintf("v%d\n", i))}, "edit", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.waitAllIdle(); err != nil {
+		t.Fatalf("sync on honest server failed: %v", err)
+	}
+}
+
+func TestLiveP1WithSyncs(t *testing.T) {
+	cl := newCluster(t, server.P1, 2, 3, nil)
+	for i := 0; i < 9; i++ {
+		u := i % 2
+		if _, err := cl.cvs[u].Commit(map[string][]byte{"f": []byte(fmt.Sprintf("v%d\n", i))}, "", nil); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if err := cl.waitAllIdle(); err != nil {
+		t.Fatalf("P1 sync: %v", err)
+	}
+}
+
+func TestLiveP3Epochs(t *testing.T) {
+	cl := newCluster(t, server.P3, 2, 0, nil)
+	// The server's epoch is advanced out of band (in production a
+	// timer; here directly through the handler's server — we reach it
+	// via a tiny trick: a dedicated Caller is not needed because the
+	// protocol server is shared; instead we drive epochs by dialing
+	// the raw object). Simplest: re-listen is overkill — use the sim
+	// for timing experiments; here just exercise ops + backups without
+	// epoch advancement.
+	for i := 0; i < 6; i++ {
+		if _, err := cl.cvs[i%2].Commit(map[string][]byte{"f": []byte(fmt.Sprintf("v%d\n", i))}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLiveConcurrentClients(t *testing.T) {
+	cl := newCluster(t, server.P2, 4, 8, nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for u := 0; u < 4; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				_, err := cl.cvs[u].Commit(map[string][]byte{
+					fmt.Sprintf("dir%d/f.c", u): []byte(fmt.Sprintf("u%d i%d\n", u, i)),
+				}, "concurrent", nil)
+				if err != nil {
+					errs <- fmt.Errorf("user %d op %d: %w", u, i, err)
+					return
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := cl.waitAllIdle(); err != nil {
+		t.Fatalf("final sync state: %v", err)
+	}
+	// All clients agree on the repository.
+	files, err := cl.cvs[0].List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 4 {
+		t.Fatalf("files: %+v", files)
+	}
+	for _, f := range files {
+		if f.Rev != 12 {
+			t.Fatalf("file %s at rev %d, want 12", f.Path, f.Rev)
+		}
+	}
+}
+
+func TestLiveForkDetectedAtSync(t *testing.T) {
+	for _, proto := range []server.Protocol{server.P1, server.P2} {
+		cl := newCluster(t, proto, 2, 3, &adversary.Config{
+			Kind:      adversary.Fork,
+			TriggerOp: 3,
+			GroupB:    map[sig.UserID]bool{1: true},
+		})
+		var detected error
+		for i := 0; i < 10 && detected == nil; i++ {
+			for u := 0; u < 2 && detected == nil; u++ {
+				_, err := cl.cvs[u].Commit(map[string][]byte{"f": []byte(fmt.Sprintf("u%d-%d\n", u, i))}, "", nil)
+				if err != nil {
+					detected = err
+				}
+			}
+			if detected == nil {
+				if err := cl.waitAllIdle(); err != nil {
+					detected = err
+				}
+			}
+		}
+		de, ok := core.AsDetection(detected)
+		if !ok {
+			t.Fatalf("%v: fork not detected: %v", proto, detected)
+		}
+		if de.Class != core.SyncMismatch {
+			t.Fatalf("%v: class %v", proto, de.Class)
+		}
+	}
+}
+
+func TestLiveTamperedAnswerDetected(t *testing.T) {
+	cl := newCluster(t, server.P2, 2, 100, &adversary.Config{
+		Kind: adversary.TamperAnswer, TriggerOp: 2,
+	})
+	if _, err := cl.cvs[0].Commit(map[string][]byte{"f": []byte("ok\n")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cl.cvs[1].Checkout("f")
+	de, ok := core.AsDetection(err)
+	if !ok || de.Class != core.BadAnswer {
+		t.Fatalf("want BadAnswer, got %v", err)
+	}
+	// Detection is terminal: subsequent operations fail fast.
+	if _, err := cl.clients[1].Do(&vdb.NopOp{}); err == nil {
+		t.Fatal("client must refuse to continue after detection")
+	}
+}
+
+func TestLiveContentTamperDetected(t *testing.T) {
+	cl := newCluster(t, server.P2, 2, 100, nil)
+	if _, err := cl.cvs[0].Commit(map[string][]byte{"f": []byte("genuine\n")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the blob server-side by pushing different content for
+	// the same (path, rev): fetch by hash still returns the genuine
+	// bytes, proving content addressing defeats this tamper.
+	if err := cl.clients[1].Push("f", 1, []byte("evil\n")); err == nil {
+		// Push succeeded (the store keeps both); checkout must still
+		// verify.
+		got, err := cl.cvs[1].Checkout("f")
+		if err != nil || string(got["f"]) != "genuine\n" {
+			t.Fatalf("checkout after hostile push: %q %v", got["f"], err)
+		}
+	}
+}

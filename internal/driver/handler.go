@@ -1,0 +1,43 @@
+package driver
+
+import (
+	"fmt"
+
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/cvs"
+	"trustedcvs/internal/server"
+	"trustedcvs/internal/transport"
+)
+
+// NewHandler builds the server-side request router: protocol messages
+// go to the protocol server (honest or adversarial — anything
+// implementing server.Server), content messages to the content store.
+// Transports serialize invocations, so no locking is needed here.
+func NewHandler(srv server.Server, store *cvs.Store) transport.Handler {
+	return func(req any) (any, error) {
+		switch r := req.(type) {
+		case *core.OpRequest:
+			return srv.HandleOp(r)
+		case *core.AckRequest:
+			if err := srv.HandleAck(r); err != nil {
+				return nil, err
+			}
+			return &core.OKResponse{}, nil
+		case *core.GetBackupsRequest:
+			return srv.HandleGetBackups(r)
+		case *core.PushContentRequest:
+			if err := store.Push(r.Path, r.Rev, r.Content); err != nil {
+				return nil, err
+			}
+			return &core.OKResponse{}, nil
+		case *core.FetchContentRequest:
+			content, err := store.Fetch(r.Path, r.Rev, r.Hash)
+			if err != nil {
+				return nil, err
+			}
+			return &core.ContentResponse{Content: content}, nil
+		default:
+			return nil, fmt.Errorf("driver: unknown request %T", req)
+		}
+	}
+}

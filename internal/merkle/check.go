@@ -1,0 +1,101 @@
+package merkle
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckInvariants verifies the structural invariants of a fully
+// materialized tree. It is exported for the package's property-based
+// tests and for debugging; it is never needed in production paths.
+//
+// Checked: uniform leaf depth; per-node key-count bounds; sorted,
+// duplicate-free keys globally; separator consistency (every key in
+// child i lies in [keys[i-1], keys[i])); size bookkeeping.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		if t.size != 0 {
+			return fmt.Errorf("merkle: empty tree with size %d", t.size)
+		}
+		return nil
+	}
+	depth := -1
+	count := 0
+	var prev string
+	first := true
+	var walk func(n *node, d int, lo, hi string, isRoot bool) error
+	walk = func(n *node, d int, lo, hi string, isRoot bool) error {
+		if n == nil {
+			return fmt.Errorf("merkle: nil node at depth %d", d)
+		}
+		if n.pruned {
+			return fmt.Errorf("merkle: pruned node in materialized tree at depth %d", d)
+		}
+		if !sort.StringsAreSorted(n.keys) {
+			return fmt.Errorf("merkle: unsorted keys at depth %d: %v", d, n.keys)
+		}
+		if !isRoot && len(n.keys) < t.minKeys() {
+			return fmt.Errorf("merkle: underfull node at depth %d: %d keys < min %d", d, len(n.keys), t.minKeys())
+		}
+		if len(n.keys) > t.order {
+			return fmt.Errorf("merkle: overfull node at depth %d: %d keys > order %d", d, len(n.keys), t.order)
+		}
+		if n.leaf {
+			if len(n.vals) != len(n.keys) {
+				return fmt.Errorf("merkle: leaf with %d keys, %d vals", len(n.keys), len(n.vals))
+			}
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return fmt.Errorf("merkle: leaves at depths %d and %d", depth, d)
+			}
+			for _, k := range n.keys {
+				if k < lo || (hi != "" && k >= hi) {
+					return fmt.Errorf("merkle: key %q outside separator range [%q,%q)", k, lo, hi)
+				}
+				if !first && k <= prev {
+					return fmt.Errorf("merkle: key order violation: %q after %q", k, prev)
+				}
+				prev, first = k, false
+				count++
+			}
+			return nil
+		}
+		if len(n.kids) != len(n.keys)+1 {
+			return fmt.Errorf("merkle: internal node with %d keys, %d kids", len(n.keys), len(n.kids))
+		}
+		for i, kid := range n.kids {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			if err := walk(kid, d+1, clo, chi, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, "", "", true); err != nil {
+		return err
+	}
+	if t.size >= 0 && count != t.size {
+		return fmt.Errorf("merkle: size bookkeeping: counted %d, size field %d", count, t.size)
+	}
+	return nil
+}
+
+// Height returns the number of levels in the tree (0 for empty).
+func (t *Tree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if n.leaf {
+			break
+		}
+		n = n.kids[0]
+	}
+	return h
+}

@@ -1,0 +1,11 @@
+package merkle
+
+import "encoding/gob"
+
+// VOs usually travel as concrete-typed fields of protocol responses,
+// but the bench harness also measures them as standalone payloads, so
+// the types are registered for interface transport too.
+func init() {
+	gob.Register(&VO{})
+	gob.Register(&VONode{})
+}

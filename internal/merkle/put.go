@@ -1,0 +1,124 @@
+package merkle
+
+import "fmt"
+
+// Put returns a new tree in which key maps to val, leaving the receiver
+// unchanged. The value slice is stored as-is; callers must not mutate
+// it afterwards (internal/vdb copies values at its boundary).
+func (t *Tree) Put(key string, val []byte) *Tree {
+	nt, err := t.PutErr(key, val)
+	if err != nil {
+		panic("merkle: Put on partial tree; use PutErr: " + err.Error())
+	}
+	return nt
+}
+
+// PutErr is Put for trees that may contain pruned nodes.
+func (t *Tree) PutErr(key string, val []byte) (*Tree, error) {
+	c := &ctx{order: t.order}
+	return t.putCtx(c, key, val)
+}
+
+func (t *Tree) putCtx(c *ctx, key string, val []byte) (*Tree, error) {
+	if t.root == nil {
+		root := &node{leaf: true, keys: []string{key}, vals: [][]byte{val}}
+		return &Tree{order: t.order, root: root, size: 1}, nil
+	}
+	nr, added, err := c.put(t.root, key, val)
+	if err != nil {
+		return nil, err
+	}
+	if len(nr.keys) > t.order {
+		left, sep, right := split(nr)
+		nr = &node{keys: []string{sep}, kids: []*node{left, right}}
+	}
+	size := t.size
+	if added {
+		size++
+	}
+	return &Tree{order: t.order, root: nr, size: size}, nil
+}
+
+// put inserts into the subtree rooted at n, returning a new node that
+// may be overfull (up to order+1 keys); the caller splits it.
+func (c *ctx) put(n *node, key string, val []byte) (nn *node, added bool, err error) {
+	c.visit(n)
+	if n.pruned {
+		return nil, false, fmt.Errorf("%w (put %q)", ErrPruned, key)
+	}
+	if n.leaf {
+		i := searchKeys(n.keys, key)
+		nn = n.clone()
+		if i < len(nn.keys) && nn.keys[i] == key {
+			nn.vals[i] = val
+			return nn, false, nil
+		}
+		nn.keys = insertString(nn.keys, i, key)
+		nn.vals = insertBytes(nn.vals, i, val)
+		return nn, true, nil
+	}
+	idx := childIndex(n, key)
+	nk, added, err := c.put(n.kids[idx], key, val)
+	if err != nil {
+		return nil, false, err
+	}
+	nn = n.clone()
+	nn.kids[idx] = nk
+	if len(nk.keys) > c.order {
+		left, sep, right := split(nk)
+		nn.keys = insertString(nn.keys, idx, sep)
+		nn.kids[idx] = left
+		nn.kids = insertNode(nn.kids, idx+1, right)
+	}
+	return nn, added, nil
+}
+
+// split divides an overfull node into two nodes and the separator key
+// to push into the parent. For a leaf the separator is a copy of the
+// right node's first key (B+-tree style: all records stay in leaves);
+// for an internal node the middle key moves up.
+func split(n *node) (left *node, sep string, right *node) {
+	mid := len(n.keys) / 2
+	if n.leaf {
+		left = &node{leaf: true, keys: n.keys[:mid:mid], vals: n.vals[:mid:mid]}
+		right = &node{leaf: true, keys: n.keys[mid:], vals: n.vals[mid:]}
+		return left, right.keys[0], right
+	}
+	left = &node{keys: n.keys[:mid:mid], kids: n.kids[: mid+1 : mid+1]}
+	right = &node{keys: n.keys[mid+1:], kids: n.kids[mid+1:]}
+	return left, n.keys[mid], right
+}
+
+func searchKeys(keys []string, key string) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		m := (lo + hi) / 2
+		if keys[m] < key {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+func insertString(s []string, i int, v string) []string {
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertBytes(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertNode(s []*node, i int, v *node) []*node {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,143 @@
+package merkle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickAgainstMap drives random operation sequences against a
+// reference map and checks full agreement plus structural invariants —
+// the core property test for the B+-tree.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed int64, orderPick uint8, nOps uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := []int{3, 4, 5, 8, 16}[int(orderPick)%5]
+		tr := New(order)
+		ref := map[string]string{}
+		ops := int(nOps)%400 + 1
+		for i := 0; i < ops; i++ {
+			k := fmt.Sprintf("k%03d", rng.Intn(120))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", rng.Int())
+				tr = tr.Put(k, []byte(v))
+				ref[k] = v
+			case 2:
+				var found bool
+				tr, found = tr.Delete(k)
+				_, want := ref[k]
+				if found != want {
+					t.Logf("delete(%s): found=%v want=%v", k, found, want)
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Logf("Len %d != ref %d", tr.Len(), len(ref))
+			return false
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || string(got) != v {
+				t.Logf("Get(%s) = %q,%v want %q", k, got, ok, v)
+				return false
+			}
+		}
+		var keys []string
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		got := tr.Keys()
+		if len(got) != len(keys) {
+			t.Logf("Keys len %d != %d", len(got), len(keys))
+			return false
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				t.Logf("Keys[%d] = %s want %s", i, got[i], keys[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVOReplay checks, for random trees and random single-op
+// batches, that VO replay reconstructs the server's post-state root —
+// the soundness property every protocol relies on.
+func TestQuickVOReplay(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := []int{3, 4, 8}[rng.Intn(3)]
+		tr := New(order)
+		for i, n := 0, rng.Intn(250); i < n; i++ {
+			tr = tr.Put(fmt.Sprintf("k%03d", rng.Intn(300)), []byte{byte(i)})
+		}
+		oldRoot := tr.RootDigest()
+		k := fmt.Sprintf("k%03d", rng.Intn(300))
+		del := rng.Intn(2) == 0
+
+		rec := tr.Record()
+		if del {
+			if _, err := rec.Delete(k); err != nil {
+				t.Log(err)
+				return false
+			}
+		} else if err := rec.Put(k, []byte("new")); err != nil {
+			t.Log(err)
+			return false
+		}
+		want := rec.Tree().RootDigest()
+		got, err := rec.VO().Replay(oldRoot, func(pt *Tree) (*Tree, error) {
+			if del {
+				pt, _, err := pt.DeleteErr(k)
+				return pt, err
+			}
+			return pt.PutErr(k, []byte("new"))
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDigestBindsContent: two trees built from different reference
+// contents must (overwhelmingly) have different root digests, and equal
+// contents built by the same op sequence must agree.
+func TestQuickDigestBindsContent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		build := func(extra bool) *Tree {
+			tr := New(4)
+			for i := 0; i < 40; i++ {
+				tr = tr.Put(fmt.Sprintf("k%02d", i), []byte{byte(i)})
+			}
+			if extra {
+				tr = tr.Put(fmt.Sprintf("k%02d", rng.Intn(40)), []byte("flip"))
+			}
+			return tr
+		}
+		return build(false).RootDigest() == build(false).RootDigest() &&
+			build(false).RootDigest() != build(true).RootDigest()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package merkle
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Snapshot is the wire/disk form of a complete tree. Unlike a plain
+// key-value dump, it preserves the exact node structure: B+-tree shape
+// depends on insertion history, so only a structural snapshot restores
+// the same root digest — which is what keeps restarted servers
+// consistent with their clients' verified roots.
+type Snapshot struct {
+	Order int
+	Size  int
+	Root  *SnapshotNode
+}
+
+// SnapshotNode is one fully expanded node.
+type SnapshotNode struct {
+	Leaf bool
+	Keys []string
+	Vals [][]byte
+	Kids []*SnapshotNode
+}
+
+// Snapshot captures the tree. The result shares no mutable state with
+// the tree (values are copied).
+func (t *Tree) Snapshot() *Snapshot {
+	return &Snapshot{Order: t.order, Size: t.size, Root: snapNode(t.root)}
+}
+
+func snapNode(n *node) *SnapshotNode {
+	if n == nil {
+		return nil
+	}
+	if n.pruned {
+		// Partial trees are verification artifacts, never persisted.
+		panic("merkle: cannot snapshot a partial tree")
+	}
+	sn := &SnapshotNode{Leaf: n.leaf, Keys: append([]string(nil), n.keys...)}
+	if n.leaf {
+		sn.Vals = make([][]byte, len(n.vals))
+		for i, v := range n.vals {
+			sn.Vals[i] = append([]byte(nil), v...)
+		}
+		return sn
+	}
+	sn.Kids = make([]*SnapshotNode, len(n.kids))
+	for i, k := range n.kids {
+		sn.Kids[i] = snapNode(k)
+	}
+	return sn
+}
+
+// Restore rebuilds a tree from a snapshot, validating structure the
+// same way VO materialization does (snapshots may come from disk or
+// the network). The restored tree's root digest equals the original's.
+func Restore(s *Snapshot) (*Tree, error) {
+	if s == nil {
+		return nil, fmt.Errorf("%w: nil snapshot", ErrMalformedVO)
+	}
+	if s.Order < MinOrder {
+		return nil, fmt.Errorf("%w: order %d", ErrMalformedVO, s.Order)
+	}
+	root, count, err := restoreNode(s.Root, s.Order)
+	if err != nil {
+		return nil, err
+	}
+	if count != s.Size {
+		return nil, fmt.Errorf("%w: snapshot claims %d records, contains %d", ErrMalformedVO, s.Size, count)
+	}
+	t := &Tree{order: s.Order, root: root, size: count}
+	if err := t.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("merkle: restored tree invalid: %w", err)
+	}
+	return t, nil
+}
+
+func restoreNode(sn *SnapshotNode, order int) (*node, int, error) {
+	if sn == nil {
+		return nil, 0, nil
+	}
+	vn := &VONode{Leaf: sn.Leaf, Keys: sn.Keys, Vals: sn.Vals}
+	if !sn.Leaf {
+		// Validate shape through the same path as VOs, then recurse
+		// ourselves (children here are always expanded).
+		if len(sn.Kids) != len(sn.Keys)+1 {
+			return nil, 0, fmt.Errorf("%w: bad internal shape", ErrMalformedVO)
+		}
+		n := &node{keys: append([]string(nil), sn.Keys...), kids: make([]*node, len(sn.Kids))}
+		total := 0
+		for i, kid := range sn.Kids {
+			k, c, err := restoreNode(kid, order)
+			if err != nil {
+				return nil, 0, err
+			}
+			if k == nil {
+				return nil, 0, fmt.Errorf("%w: nil child", ErrMalformedVO)
+			}
+			n.kids[i] = k
+			total += c
+		}
+		if len(n.keys) > order {
+			return nil, 0, fmt.Errorf("%w: overfull node", ErrMalformedVO)
+		}
+		return n, total, nil
+	}
+	// Copy leaf content: the snapshot may be an in-memory object the
+	// caller still holds (buildNode takes slices as-is, which is fine
+	// for freshly decoded VOs but would alias here).
+	vn.Keys = append([]string(nil), sn.Keys...)
+	vn.Vals = make([][]byte, len(sn.Vals))
+	for i, v := range sn.Vals {
+		vn.Vals[i] = append([]byte(nil), v...)
+	}
+	built, err := buildNode(vn, order)
+	if err != nil {
+		return nil, 0, err
+	}
+	return built, len(built.keys), nil
+}
+
+// WriteTo serializes the snapshot with gob.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	if err := gob.NewEncoder(cw).Encode(s); err != nil {
+		return cw.n, fmt.Errorf("merkle: encode snapshot: %w", err)
+	}
+	return cw.n, nil
+}
+
+// ReadSnapshot deserializes a snapshot written by WriteTo.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("merkle: decode snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

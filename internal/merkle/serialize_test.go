@@ -1,0 +1,133 @@
+package merkle
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 500; i++ {
+		tr = tr.Put(key(i), val(i))
+	}
+	for i := 0; i < 100; i += 3 {
+		tr, _ = tr.Delete(key(i))
+	}
+	want := tr.RootDigest()
+
+	var buf bytes.Buffer
+	n, err := tr.Snapshot().WriteTo(&buf)
+	if err != nil || n != int64(buf.Len()) {
+		t.Fatalf("WriteTo: n=%d err=%v", n, err)
+	}
+	snap, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RootDigest() != want {
+		t.Fatal("restored root digest differs — restarted servers would break every client")
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("Len %d != %d", got.Len(), tr.Len())
+	}
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The restored tree must be fully functional.
+	nt := got.Put("new-key", []byte("v"))
+	if _, ok := nt.Get("new-key"); !ok {
+		t.Fatal("restored tree not writable")
+	}
+}
+
+func TestSnapshotEmptyTree(t *testing.T) {
+	tr := New(0)
+	got, err := Restore(tr.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RootDigest() != tr.RootDigest() || got.Len() != 0 {
+		t.Fatal("empty snapshot round trip")
+	}
+}
+
+func TestSnapshotIndependence(t *testing.T) {
+	tr := New(4).Put("k", []byte("original"))
+	snap := tr.Snapshot()
+	// Mutating the snapshot must not affect a restore taken before.
+	restored, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Root.Vals[0][0] = 'X'
+	if v, _ := restored.Get("k"); string(v) != "original" {
+		t.Fatal("restore shares memory with the snapshot")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	cases := map[string]*Snapshot{
+		"nil":        nil,
+		"bad order":  {Order: 1},
+		"bad size":   {Order: 4, Size: 5, Root: &SnapshotNode{Leaf: true, Keys: []string{"a"}, Vals: [][]byte{nil}}},
+		"bad shape":  {Order: 4, Size: 0, Root: &SnapshotNode{Keys: []string{"a"}}},
+		"nil child":  {Order: 4, Size: 0, Root: &SnapshotNode{Keys: []string{"a"}, Kids: []*SnapshotNode{nil, nil}}},
+		"underfull":  {Order: 8, Size: 1, Root: &SnapshotNode{Keys: []string{"b"}, Kids: []*SnapshotNode{{Leaf: true}, {Leaf: true, Keys: []string{"b"}, Vals: [][]byte{nil}}}}},
+		"unsorted":   {Order: 4, Size: 2, Root: &SnapshotNode{Leaf: true, Keys: []string{"b", "a"}, Vals: [][]byte{nil, nil}}},
+		"duplicates": {Order: 4, Size: 2, Root: &SnapshotNode{Leaf: true, Keys: []string{"a", "a"}, Vals: [][]byte{nil, nil}}},
+	}
+	for name, s := range cases {
+		if _, err := Restore(s); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestSnapshotPanicsOnPartialTree(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 50; i++ {
+		tr = tr.Put(key(i), val(i))
+	}
+	rec := tr.Record()
+	_, _, _ = rec.Get(key(1))
+	pt, err := rec.VO().Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("snapshot of a partial tree must panic")
+		}
+	}()
+	pt.Snapshot()
+}
+
+func TestQuickSnapshotPreservesDigest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New([]int{3, 4, 8, 16}[rng.Intn(4)])
+		for i, n := 0, rng.Intn(300); i < n; i++ {
+			k := key(rng.Intn(200))
+			if rng.Intn(4) == 0 {
+				tr, _ = tr.Delete(k)
+			} else {
+				tr = tr.Put(k, val(rng.Int()))
+			}
+		}
+		restored, err := Restore(tr.Snapshot())
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return restored.RootDigest() == tr.RootDigest() && restored.Len() == tr.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+package merkle
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"trustedcvs/internal/digest"
+)
+
+// ErrRootMismatch is returned when a verification object's pre-state
+// does not hash to the root digest the verifier knows. In protocol
+// terms: the server answered from a database state other than the one
+// the users last certified.
+var ErrRootMismatch = errors.New("merkle: VO pre-state root digest mismatch")
+
+// ErrMalformedVO is returned when a verification object received from
+// the (untrusted) server is structurally invalid.
+var ErrMalformedVO = errors.New("merkle: malformed verification object")
+
+// A Recording wraps a tree and records every pre-state node touched by
+// the operations performed through it. When the batch is done, VO()
+// returns the pruned pre-state that lets a verifier replay the batch —
+// the paper's verification object v(Q, D), generalized from single
+// updates to operation batches.
+type Recording struct {
+	base *Tree
+	cur  *Tree
+	c    *ctx
+}
+
+// Record starts a recording session on t.
+func (t *Tree) Record() *Recording {
+	return &Recording{
+		base: t,
+		cur:  t,
+		c:    &ctx{order: t.order, rec: make(map[*node]struct{})},
+	}
+}
+
+// Get reads through the recording.
+func (r *Recording) Get(key string) ([]byte, bool, error) {
+	return r.c.get(r.cur.root, key)
+}
+
+// Range scans through the recording.
+func (r *Recording) Range(lo, hi string, fn func(string, []byte) bool) error {
+	_, err := r.c.rng(r.cur.root, lo, hi, fn)
+	return err
+}
+
+// Put writes through the recording.
+func (r *Recording) Put(key string, val []byte) error {
+	nt, err := r.cur.putCtx(r.c, key, val)
+	if err != nil {
+		return err
+	}
+	r.cur = nt
+	return nil
+}
+
+// Delete removes through the recording.
+func (r *Recording) Delete(key string) (bool, error) {
+	nt, found, err := r.cur.deleteCtx(r.c, key)
+	if err != nil {
+		return false, err
+	}
+	r.cur = nt
+	return found, nil
+}
+
+// Tree returns the post-state after all recorded operations.
+func (r *Recording) Tree() *Tree { return r.cur }
+
+// VO returns the verification object for the recorded batch: the
+// pre-state tree pruned down to the nodes the batch touched. Nodes
+// created during the batch are never part of the pre-state and are
+// reconstructed by the verifier's replay.
+func (r *Recording) VO() *VO {
+	return &VO{Order: r.base.order, Root: pruneNode(r.base.root, r.c.rec)}
+}
+
+func pruneNode(n *node, keep map[*node]struct{}) *VONode {
+	if n == nil {
+		return nil
+	}
+	if _, ok := keep[n]; !ok {
+		return &VONode{Pruned: true, Digest: n.digest()}
+	}
+	vn := &VONode{Leaf: n.leaf, Keys: append([]string(nil), n.keys...)}
+	if n.leaf {
+		vn.Vals = make([][]byte, len(n.vals))
+		for i, v := range n.vals {
+			vn.Vals[i] = append([]byte(nil), v...)
+		}
+		return vn
+	}
+	vn.Kids = make([]*VONode, len(n.kids))
+	for i, k := range n.kids {
+		vn.Kids[i] = pruneNode(k, keep)
+	}
+	return vn
+}
+
+// VO is a wire-encodable verification object: a pruned copy of the
+// server's pre-state tree. The paper's v(Q, D).
+type VO struct {
+	Order int
+	Root  *VONode
+}
+
+// VONode is one node of a pruned tree. Exactly one of the two forms is
+// populated: a pruned placeholder (Pruned + Digest) or an expanded node
+// (Leaf/Keys/Vals/Kids).
+type VONode struct {
+	Pruned bool
+	Digest digest.Digest
+	Leaf   bool
+	Keys   []string
+	Vals   [][]byte
+	Kids   []*VONode
+}
+
+// Tree materializes the VO into a partial tree. It validates structure
+// (the VO comes from an untrusted server) so that replaying operations
+// on the result can never panic: malformed shapes are rejected here.
+func (v *VO) Tree() (*Tree, error) {
+	if v.Order < MinOrder {
+		return nil, fmt.Errorf("%w: order %d", ErrMalformedVO, v.Order)
+	}
+	root, err := buildNode(v.Root, v.Order)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{order: v.Order, root: root, size: -1}, nil
+}
+
+func buildNode(vn *VONode, order int) (*node, error) {
+	if vn == nil {
+		return nil, nil
+	}
+	if vn.Pruned {
+		if vn.Digest.IsZero() {
+			return nil, fmt.Errorf("%w: pruned node without digest", ErrMalformedVO)
+		}
+		if len(vn.Keys) > 0 || len(vn.Vals) > 0 || len(vn.Kids) > 0 {
+			return nil, fmt.Errorf("%w: pruned node with content", ErrMalformedVO)
+		}
+		return &node{pruned: true, dig: vn.Digest}, nil
+	}
+	if !sort.StringsAreSorted(vn.Keys) {
+		return nil, fmt.Errorf("%w: unsorted keys", ErrMalformedVO)
+	}
+	for i := 1; i < len(vn.Keys); i++ {
+		if vn.Keys[i] == vn.Keys[i-1] {
+			return nil, fmt.Errorf("%w: duplicate key %q", ErrMalformedVO, vn.Keys[i])
+		}
+	}
+	if vn.Leaf {
+		if len(vn.Vals) != len(vn.Keys) || len(vn.Kids) != 0 {
+			return nil, fmt.Errorf("%w: bad leaf shape (%d keys, %d vals, %d kids)",
+				ErrMalformedVO, len(vn.Keys), len(vn.Vals), len(vn.Kids))
+		}
+		if len(vn.Keys) > order {
+			return nil, fmt.Errorf("%w: leaf with %d keys exceeds order %d", ErrMalformedVO, len(vn.Keys), order)
+		}
+		return &node{leaf: true, keys: vn.Keys, vals: vn.Vals}, nil
+	}
+	if len(vn.Kids) != len(vn.Keys)+1 || len(vn.Vals) != 0 {
+		return nil, fmt.Errorf("%w: bad internal shape (%d keys, %d kids)",
+			ErrMalformedVO, len(vn.Keys), len(vn.Kids))
+	}
+	if len(vn.Keys) > order {
+		return nil, fmt.Errorf("%w: internal node with %d keys exceeds order %d", ErrMalformedVO, len(vn.Keys), order)
+	}
+	n := &node{keys: vn.Keys, kids: make([]*node, len(vn.Kids))}
+	for i, kvn := range vn.Kids {
+		if kvn == nil {
+			return nil, fmt.Errorf("%w: nil child", ErrMalformedVO)
+		}
+		k, err := buildNode(kvn, order)
+		if err != nil {
+			return nil, err
+		}
+		n.kids[i] = k
+	}
+	return n, nil
+}
+
+// Replay is the verifier's side of Section 4.1: it materializes the VO,
+// checks that the pre-state hashes to oldRoot (the root digest the
+// verifier already trusts), replays the operation batch fn on the
+// partial tree, and returns the post-state root digest. Any attempt by
+// fn to read beyond what the VO covers fails with ErrPruned, which
+// means the VO — and hence the server — is bad.
+func (v *VO) Replay(oldRoot digest.Digest, fn func(*Tree) (*Tree, error)) (digest.Digest, error) {
+	t, err := v.Tree()
+	if err != nil {
+		return digest.Zero, err
+	}
+	if got := t.RootDigest(); got != oldRoot {
+		return digest.Zero, fmt.Errorf("%w: VO root %s, trusted root %s",
+			ErrRootMismatch, got.Short(), oldRoot.Short())
+	}
+	nt, err := fn(t)
+	if err != nil {
+		return digest.Zero, err
+	}
+	return nt.RootDigest(), nil
+}
+
+// VOStats summarizes a verification object's size, the quantity the
+// paper bounds by O(log n) per updated key.
+type VOStats struct {
+	ExpandedNodes int // nodes shipped in full
+	PrunedDigests int // sibling digests shipped (the "O(log n) digests")
+	Records       int // key/value records shipped
+	ApproxBytes   int // structural size estimate (keys + values + digests)
+}
+
+// Stats computes size statistics for the VO.
+func (v *VO) Stats() VOStats {
+	var s VOStats
+	var walk func(*VONode)
+	walk = func(n *VONode) {
+		if n == nil {
+			return
+		}
+		if n.Pruned {
+			s.PrunedDigests++
+			s.ApproxBytes += digest.Size
+			return
+		}
+		s.ExpandedNodes++
+		for _, k := range n.Keys {
+			s.ApproxBytes += len(k)
+		}
+		if n.Leaf {
+			s.Records += len(n.Keys)
+			for _, val := range n.Vals {
+				s.ApproxBytes += len(val)
+			}
+			return
+		}
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(v.Root)
+	return s
+}

@@ -1,0 +1,232 @@
+// Package rcs implements the server-side revision storage substrate of
+// a CVS-like system: per-file revision chains stored RCS-style (head
+// revision in full, older revisions as reverse deltas) plus a
+// content-addressed blob store.
+//
+// Nothing in this package is trusted. The authenticated layer
+// (internal/vdb + internal/cvs) commits to content *hashes*; rcs merely
+// has to produce bytes that hash correctly, and a client always
+// re-hashes what it receives. A malicious server that tampers with rcs
+// state can only cause detectable failures.
+package rcs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"trustedcvs/internal/diff"
+	"trustedcvs/internal/digest"
+)
+
+// ErrNoRevision is returned for out-of-range revision numbers or files
+// with no commits.
+var ErrNoRevision = errors.New("rcs: no such revision")
+
+// ErrUnknownFile is returned by Archive lookups for unknown paths.
+var ErrUnknownFile = errors.New("rcs: unknown file")
+
+// ErrCorrupt is returned when stored content does not match its
+// recorded content hash — on an honest server this indicates storage
+// corruption; under an adversary it is tampering.
+var ErrCorrupt = errors.New("rcs: content does not match recorded hash")
+
+// Revision is the metadata for one committed revision of one file.
+// Numbers start at 1 (CVS's "1.1" maps to 1, "1.2" to 2, ...).
+type Revision struct {
+	Number int
+	Author string
+	Time   time.Time
+	Log    string
+	Hash   digest.Digest // content hash, digest.DomainBlob
+}
+
+// HashContent computes the content hash recorded in Revision.Hash and
+// verified by clients after every checkout.
+func HashContent(content []byte) digest.Digest {
+	return digest.OfBytes(digest.DomainBlob, content)
+}
+
+// File is the revision chain for a single file: full head text plus
+// reverse deltas back to revision 1.
+type File struct {
+	path   string
+	head   []byte
+	revs   []Revision    // revs[i] is revision i+1
+	deltas []*diff.Patch // deltas[i] transforms revision i+2's text into revision i+1's
+}
+
+// NewFile creates an empty revision chain for path.
+func NewFile(path string) *File { return &File{path: path} }
+
+// Path returns the file's repository path.
+func (f *File) Path() string { return f.path }
+
+// Revisions returns the number of committed revisions.
+func (f *File) Revisions() int { return len(f.revs) }
+
+// Commit appends a new revision with the given content and metadata,
+// returning its Revision record. Content is copied.
+func (f *File) Commit(content []byte, author, log string, when time.Time) Revision {
+	content = append([]byte(nil), content...)
+	rev := Revision{
+		Number: len(f.revs) + 1,
+		Author: author,
+		Time:   when,
+		Log:    log,
+		Hash:   HashContent(content),
+	}
+	if len(f.revs) > 0 {
+		// Reverse delta: new text -> previous head text.
+		f.deltas = append(f.deltas, diff.Strings(string(content), string(f.head)))
+	}
+	f.head = content
+	f.revs = append(f.revs, rev)
+	return rev
+}
+
+// Head returns the latest revision's content and metadata.
+func (f *File) Head() ([]byte, Revision, error) {
+	if len(f.revs) == 0 {
+		return nil, Revision{}, fmt.Errorf("%w: %s has no commits", ErrNoRevision, f.path)
+	}
+	return append([]byte(nil), f.head...), f.revs[len(f.revs)-1], nil
+}
+
+// At reconstructs the content of revision n by walking reverse deltas
+// back from the head, verifying the result against the recorded hash.
+func (f *File) At(n int) ([]byte, Revision, error) {
+	if n < 1 || n > len(f.revs) {
+		return nil, Revision{}, fmt.Errorf("%w: %s revision %d (have 1..%d)", ErrNoRevision, f.path, n, len(f.revs))
+	}
+	text := string(f.head)
+	for i := len(f.revs) - 2; i >= n-1; i-- {
+		var err error
+		text, err = f.deltas[i].ApplyStrings(text)
+		if err != nil {
+			return nil, Revision{}, fmt.Errorf("rcs: %s: reverse delta to revision %d: %w", f.path, i+1, err)
+		}
+	}
+	rev := f.revs[n-1]
+	if HashContent([]byte(text)) != rev.Hash {
+		return nil, Revision{}, fmt.Errorf("%w: %s revision %d", ErrCorrupt, f.path, n)
+	}
+	return []byte(text), rev, nil
+}
+
+// Log returns the revision metadata, newest first (like `cvs log`).
+func (f *File) Log() []Revision {
+	out := make([]Revision, len(f.revs))
+	for i, r := range f.revs {
+		out[len(f.revs)-1-i] = r
+	}
+	return out
+}
+
+// Archive is a collection of Files keyed by path — the storage half of
+// a CVS server.
+type Archive struct {
+	files map[string]*File
+}
+
+// NewArchive creates an empty archive.
+func NewArchive() *Archive { return &Archive{files: make(map[string]*File)} }
+
+// File returns the revision chain for path, creating it when create is
+// set.
+func (a *Archive) File(path string, create bool) (*File, error) {
+	if f, ok := a.files[path]; ok {
+		return f, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownFile, path)
+	}
+	f := NewFile(path)
+	a.files[path] = f
+	return f, nil
+}
+
+// Paths returns all file paths in sorted order.
+func (a *Archive) Paths() []string {
+	out := make([]string, 0, len(a.files))
+	for p := range a.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of files in the archive.
+func (a *Archive) Len() int { return len(a.files) }
+
+// Fork returns a deep-enough copy of the archive for the adversary
+// package: revision chains are append-only, so forked Files share
+// existing revisions but diverge on future commits.
+func (a *Archive) Fork() *Archive {
+	na := NewArchive()
+	for p, f := range a.files {
+		nf := &File{
+			path:   f.path,
+			head:   f.head, // head is replaced wholesale on commit; safe to share
+			revs:   append([]Revision(nil), f.revs...),
+			deltas: append([]*diff.Patch(nil), f.deltas...),
+		}
+		na.files[p] = nf
+	}
+	return na
+}
+
+// BlobStore is a content-addressed store: blobs are keyed by their
+// digest, so a reader can always verify what it gets.
+type BlobStore struct {
+	blobs map[digest.Digest][]byte
+}
+
+// NewBlobStore creates an empty blob store.
+func NewBlobStore() *BlobStore {
+	return &BlobStore{blobs: make(map[digest.Digest][]byte)}
+}
+
+// Put stores content and returns its digest. Content is copied.
+func (s *BlobStore) Put(content []byte) digest.Digest {
+	d := HashContent(content)
+	if _, ok := s.blobs[d]; !ok {
+		s.blobs[d] = append([]byte(nil), content...)
+	}
+	return d
+}
+
+// Get returns the blob for d, verifying it against its digest.
+func (s *BlobStore) Get(d digest.Digest) ([]byte, error) {
+	b, ok := s.blobs[d]
+	if !ok {
+		return nil, fmt.Errorf("rcs: blob %s not found", d.Short())
+	}
+	if HashContent(b) != d {
+		return nil, fmt.Errorf("%w: blob %s", ErrCorrupt, d.Short())
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Len returns the number of stored blobs.
+func (s *BlobStore) Len() int { return len(s.blobs) }
+
+// Digests returns every stored blob's digest (unordered).
+func (s *BlobStore) Digests() []digest.Digest {
+	out := make([]digest.Digest, 0, len(s.blobs))
+	for d := range s.blobs {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Clone returns an independent store sharing the (immutable) blob
+// contents but not the index, so clones can diverge safely.
+func (s *BlobStore) Clone() *BlobStore {
+	ns := NewBlobStore()
+	for d, b := range s.blobs {
+		ns.blobs[d] = b
+	}
+	return ns
+}

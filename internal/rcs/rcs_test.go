@@ -1,0 +1,233 @@
+package rcs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2006, 4, 3, 0, 0, 0, 0, time.UTC) // ICDE 2006 week
+
+func TestEmptyFile(t *testing.T) {
+	f := NewFile("a.txt")
+	if f.Revisions() != 0 {
+		t.Fatal("new file should have no revisions")
+	}
+	if _, _, err := f.Head(); !errors.Is(err, ErrNoRevision) {
+		t.Fatalf("Head on empty file: %v", err)
+	}
+	if _, _, err := f.At(1); !errors.Is(err, ErrNoRevision) {
+		t.Fatalf("At(1) on empty file: %v", err)
+	}
+}
+
+func TestCommitAndHead(t *testing.T) {
+	f := NewFile("a.txt")
+	rev := f.Commit([]byte("v1\n"), "alice", "initial", t0)
+	if rev.Number != 1 || rev.Author != "alice" || rev.Log != "initial" {
+		t.Fatalf("bad revision record: %+v", rev)
+	}
+	content, head, err := f.Head()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(content) != "v1\n" || head.Number != 1 {
+		t.Fatalf("Head = %q rev %d", content, head.Number)
+	}
+	if HashContent([]byte("v1\n")) != rev.Hash {
+		t.Fatal("revision hash does not bind content")
+	}
+}
+
+func TestReverseDeltaReconstruction(t *testing.T) {
+	f := NewFile("main.go")
+	versions := []string{
+		"package main\n\nfunc main() {}\n",
+		"package main\n\nimport \"fmt\"\n\nfunc main() {\n\tfmt.Println(\"hi\")\n}\n",
+		"package main\n\nimport \"fmt\"\n\nfunc main() {\n\tfmt.Println(\"hello\")\n}\n",
+		"package main\n\nfunc main() {\n\tprintln(\"hello\")\n}\n",
+	}
+	for i, v := range versions {
+		f.Commit([]byte(v), "bob", fmt.Sprintf("rev %d", i+1), t0.Add(time.Duration(i)*time.Hour))
+	}
+	for i, want := range versions {
+		got, rev, err := f.At(i + 1)
+		if err != nil {
+			t.Fatalf("At(%d): %v", i+1, err)
+		}
+		if string(got) != want {
+			t.Fatalf("At(%d) = %q, want %q", i+1, got, want)
+		}
+		if rev.Number != i+1 {
+			t.Fatalf("At(%d) returned rev %d", i+1, rev.Number)
+		}
+	}
+}
+
+func TestAtOutOfRange(t *testing.T) {
+	f := NewFile("a")
+	f.Commit([]byte("x\n"), "a", "", t0)
+	for _, n := range []int{0, -1, 2, 100} {
+		if _, _, err := f.At(n); !errors.Is(err, ErrNoRevision) {
+			t.Errorf("At(%d): %v", n, err)
+		}
+	}
+}
+
+func TestLogNewestFirst(t *testing.T) {
+	f := NewFile("a")
+	for i := 1; i <= 3; i++ {
+		f.Commit([]byte(fmt.Sprintf("v%d\n", i)), "u", fmt.Sprintf("log%d", i), t0)
+	}
+	log := f.Log()
+	if len(log) != 3 {
+		t.Fatalf("Log() has %d entries", len(log))
+	}
+	for i, r := range log {
+		if r.Number != 3-i {
+			t.Fatalf("Log order wrong: %v", log)
+		}
+	}
+}
+
+func TestArchive(t *testing.T) {
+	a := NewArchive()
+	if _, err := a.File("missing", false); !errors.Is(err, ErrUnknownFile) {
+		t.Fatalf("lookup of missing file: %v", err)
+	}
+	f, err := a.File("x.txt", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Commit([]byte("hello\n"), "u", "", t0)
+	again, err := a.File("x.txt", false)
+	if err != nil || again != f {
+		t.Fatal("archive did not return the same File")
+	}
+	_, _ = a.File("b.txt", true)
+	_, _ = a.File("a.txt", true)
+	paths := a.Paths()
+	if len(paths) != 3 || paths[0] != "a.txt" || paths[2] != "x.txt" {
+		t.Fatalf("Paths() = %v", paths)
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len() = %d", a.Len())
+	}
+}
+
+func TestArchiveForkDiverges(t *testing.T) {
+	a := NewArchive()
+	f, _ := a.File("f", true)
+	f.Commit([]byte("shared\n"), "u", "", t0)
+
+	b := a.Fork()
+	bf, err := b.File("f", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf.Commit([]byte("fork-only\n"), "u", "", t0)
+
+	// The original must not see the fork's commit.
+	if f.Revisions() != 1 {
+		t.Fatalf("original gained revisions from fork: %d", f.Revisions())
+	}
+	if bf.Revisions() != 2 {
+		t.Fatalf("fork lost its commit: %d", bf.Revisions())
+	}
+	orig, _, err := f.Head()
+	if err != nil || string(orig) != "shared\n" {
+		t.Fatalf("original head changed: %q %v", orig, err)
+	}
+	// And historical revisions remain intact in both.
+	old, _, err := bf.At(1)
+	if err != nil || string(old) != "shared\n" {
+		t.Fatalf("fork lost shared history: %q %v", old, err)
+	}
+}
+
+func TestBlobStore(t *testing.T) {
+	s := NewBlobStore()
+	d := s.Put([]byte("content"))
+	got, err := s.Get(d)
+	if err != nil || string(got) != "content" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Idempotent put.
+	if d2 := s.Put([]byte("content")); d2 != d || s.Len() != 1 {
+		t.Fatal("duplicate Put must be a no-op")
+	}
+	if _, err := s.Get(HashContent([]byte("missing"))); err == nil {
+		t.Fatal("Get of missing blob must fail")
+	}
+	// Returned blob must be a copy.
+	got[0] = 'X'
+	again, err := s.Get(d)
+	if err != nil || string(again) != "content" {
+		t.Fatal("caller mutation leaked into the store")
+	}
+}
+
+func TestCommitCopiesContent(t *testing.T) {
+	f := NewFile("a")
+	buf := []byte("original\n")
+	f.Commit(buf, "u", "", t0)
+	buf[0] = 'X'
+	content, _, err := f.Head()
+	if err != nil || string(content) != "original\n" {
+		t.Fatal("Commit must copy caller's buffer")
+	}
+}
+
+// TestQuickRevisionChain commits random version histories and verifies
+// every historical revision reconstructs exactly.
+func TestQuickRevisionChain(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		file := NewFile("f")
+		var versions []string
+		doc := ""
+		n := 2 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			// Random edit of the previous version.
+			lines := strings.SplitAfter(doc, "\n")
+			if len(lines) > 0 && lines[len(lines)-1] == "" {
+				lines = lines[:len(lines)-1]
+			}
+			for e := rng.Intn(4) + 1; e > 0; e-- {
+				p := 0
+				if len(lines) > 0 {
+					p = rng.Intn(len(lines))
+				}
+				switch {
+				case len(lines) == 0 || rng.Intn(2) == 0:
+					nl := append([]string(nil), lines[:p]...)
+					nl = append(nl, fmt.Sprintf("l%d\n", rng.Intn(1000)))
+					lines = append(nl, lines[p:]...)
+				default:
+					lines = append(lines[:p:p], lines[p+1:]...)
+				}
+			}
+			doc = strings.Join(lines, "")
+			versions = append(versions, doc)
+			file.Commit([]byte(doc), "u", "", t0)
+		}
+		for i, want := range versions {
+			got, _, err := file.At(i + 1)
+			if err != nil || string(got) != want {
+				t.Logf("At(%d): %q want %q err %v", i+1, got, want, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"trustedcvs/internal/core/proto2"
+	"trustedcvs/internal/core/proto3"
+	"trustedcvs/internal/cvs"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/vdb"
+)
+
+// P2Snapshot bundles everything a Protocol II deployment needs to
+// survive a restart: the authenticated database (with its operation
+// counter), the protocol's last-user marker, and the content store.
+// Restoring reproduces the exact root digest, so running clients —
+// whose registers commit to that root — continue seamlessly.
+type P2Snapshot struct {
+	DB       *vdb.DBSnapshot
+	LastUser sig.UserID
+	Store    *cvs.StoreSnapshot
+}
+
+// SaveP2 writes a Protocol II server's full state. srv must be an
+// honest Protocol II server created by NewP2.
+func SaveP2(w io.Writer, srv Server, store *cvs.Store) error {
+	p2srv, ok := srv.(*p2)
+	if !ok {
+		return fmt.Errorf("server: SaveP2 needs an honest Protocol II server, got %v", srv.Protocol())
+	}
+	storeSnap, err := store.Snapshot()
+	if err != nil {
+		return err
+	}
+	snap := &P2Snapshot{
+		DB:       p2srv.inner.DB().Snapshot(),
+		LastUser: p2srv.inner.LastUser(),
+		Store:    storeSnap,
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("server: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadP2 restores a Protocol II server and content store.
+func LoadP2(r io.Reader) (Server, *cvs.Store, error) {
+	var snap P2Snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, nil, fmt.Errorf("server: decode snapshot: %w", err)
+	}
+	db, err := vdb.RestoreDB(snap.DB)
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := cvs.RestoreStore(snap.Store)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &p2{inner: proto2.NewServerAt(db, snap.LastUser)}, store, nil
+}
+
+// P3Snapshot bundles a Protocol III deployment's full state: the
+// database, the epoch machinery (including stored signed backups), and
+// the content store.
+type P3Snapshot struct {
+	DB    *vdb.DBSnapshot
+	State proto3.ServerState
+	Store *cvs.StoreSnapshot
+}
+
+// SaveP3 writes a Protocol III server's full state.
+func SaveP3(w io.Writer, srv Server, store *cvs.Store) error {
+	p3srv, ok := srv.(*p3)
+	if !ok {
+		return fmt.Errorf("server: SaveP3 needs an honest Protocol III server, got %v", srv.Protocol())
+	}
+	storeSnap, err := store.Snapshot()
+	if err != nil {
+		return err
+	}
+	snap := &P3Snapshot{
+		DB:    p3srv.inner.DB().Snapshot(),
+		State: p3srv.inner.State(),
+		Store: storeSnap,
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("server: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadP3 restores a Protocol III server and content store.
+func LoadP3(r io.Reader) (Server, *cvs.Store, error) {
+	var snap P3Snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, nil, fmt.Errorf("server: decode snapshot: %w", err)
+	}
+	db, err := vdb.RestoreDB(snap.DB)
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := cvs.RestoreStore(snap.Store)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &p3{inner: proto3.NewServerFromState(db, snap.State)}, store, nil
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/core/proto1"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/vdb"
+)
+
+func TestParseProtocol(t *testing.T) {
+	for in, want := range map[string]Protocol{
+		"1": P1, "I": P1, "i": P1, "protocol-I": P1,
+		"2": P2, "II": P2, "3": P3, "iii": P3,
+	} {
+		got, err := ParseProtocol(in)
+		if err != nil || got != want {
+			t.Errorf("ParseProtocol(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseProtocol("4"); err == nil {
+		t.Error("unknown protocol must error")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if P1.String() != "protocol-I" || P2.String() != "protocol-II" || P3.String() != "protocol-III" {
+		t.Error("protocol names")
+	}
+	if Protocol(9).String() != "protocol(9)" {
+		t.Error("unknown protocol name")
+	}
+}
+
+func TestAdapterCapabilities(t *testing.T) {
+	signers, _, err := sig.DeterministicSigners(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db1 := vdb.New(0)
+	p1 := NewP1(db1, proto1.Initialize(signers[0], db1.Root()))
+	p2 := NewP2(vdb.New(0))
+	p3 := NewP3(vdb.New(0))
+
+	// Protocol-specific messages are rejected where unsupported.
+	if err := p2.HandleAck(&core.AckRequest{}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("P2 ack: %v", err)
+	}
+	if err := p3.HandleAck(&core.AckRequest{}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("P3 ack: %v", err)
+	}
+	if _, err := p1.HandleGetBackups(&core.GetBackupsRequest{}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("P1 backups: %v", err)
+	}
+	if _, err := p2.HandleGetBackups(&core.GetBackupsRequest{}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("P2 backups: %v", err)
+	}
+	if resp, err := p3.HandleGetBackups(&core.GetBackupsRequest{Epoch: 0}); err != nil || resp == nil {
+		t.Errorf("P3 backups: %v %v", resp, err)
+	}
+
+	// Epochs only advance under P3.
+	p1.AdvanceEpoch()
+	p2.AdvanceEpoch()
+	p3.AdvanceEpoch()
+	if p1.Epoch() != 0 || p2.Epoch() != 0 || p3.Epoch() != 1 {
+		t.Errorf("epochs: %d %d %d", p1.Epoch(), p2.Epoch(), p3.Epoch())
+	}
+
+	// Protocol identities and response types.
+	if p1.Protocol() != P1 || p2.Protocol() != P2 || p3.Protocol() != P3 {
+		t.Error("protocol identities")
+	}
+	op := &core.OpRequest{User: 0, Op: &vdb.NopOp{}}
+	r1, err := p1.HandleOp(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r1.(*core.OpResponseI); !ok {
+		t.Errorf("P1 response type %T", r1)
+	}
+	r2, err := p2.HandleOp(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r2.(*core.OpResponseII); !ok {
+		t.Errorf("P2 response type %T", r2)
+	}
+	r3, err := p3.HandleOp(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr, ok := r3.(*core.OpResponseII); !ok || rr.Epoch != 1 {
+		t.Errorf("P3 response: %T %+v", r3, r3)
+	}
+}
+
+func TestForkReturnsSameProtocol(t *testing.T) {
+	for _, s := range []Server{NewP2(vdb.New(0)), NewP3(vdb.New(0))} {
+		f := s.Fork()
+		if f.Protocol() != s.Protocol() {
+			t.Errorf("fork changed protocol: %v -> %v", s.Protocol(), f.Protocol())
+		}
+		if f.DB() == s.DB() {
+			t.Error("fork must have its own DB wrapper")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+
+	"trustedcvs/internal/adversary"
+	"trustedcvs/internal/server"
+	"trustedcvs/internal/workload"
+)
+
+// TestOracleHonestRunIsClean: the ground-truth oracle must see no
+// deviation on an honest server, across protocols.
+func TestOracleHonestRunIsClean(t *testing.T) {
+	for _, p := range []server.Protocol{server.P1, server.P2} {
+		res := Run(Config{
+			Protocol: p, Users: 3, K: 6, Oracle: true,
+			Trace: genericTrace(3, 60, 21),
+		})
+		if res.Err != nil || res.Detected {
+			t.Fatalf("%v: %v %v", p, res.Err, res.Detection)
+		}
+		if res.GroundTruthDeviationOp != 0 {
+			t.Fatalf("%v: oracle flagged an honest run at op %d", p, res.GroundTruthDeviationOp)
+		}
+	}
+}
+
+// TestOracleAgreesWithAdversary: for attacks whose first divergent
+// *response* is the adversary's marked deviation, the oracle must
+// agree; in general the formal (oracle) deviation never precedes the
+// adversary's mark.
+func TestOracleAgreesWithAdversary(t *testing.T) {
+	trace := genericTrace(3, 80, 22)
+	// DropUpdate only causes *data* deviation when the dropped op is a
+	// write; pick a commit from the trace (dropping a read is caught
+	// too, but by counter accounting alone — see oracle.go).
+	dropAt := uint64(0)
+	for i, ev := range trace.Events {
+		if i >= 10 && ev.Kind == workload.Commit {
+			dropAt = uint64(i + 1)
+			break
+		}
+	}
+	if dropAt == 0 {
+		t.Fatal("trace has no commit after op 10")
+	}
+	cases := []struct {
+		adv adversary.Config
+		// answerVisible: the attack must produce an answer-level
+		// deviation the oracle can see. Stale replays may be detected
+		// (by counter accounting) before any answer contradicts the
+		// arrival-order serialization — see oracle.go.
+		answerVisible bool
+	}{
+		{adversary.Config{Kind: adversary.TamperAnswer, TriggerOp: 13}, true},
+		{adversary.Config{Kind: adversary.DropUpdate, TriggerOp: dropAt}, true},
+		{adversary.Config{Kind: adversary.ReplayStale, TriggerOp: 15, Target: 1}, false},
+	}
+	for _, c := range cases {
+		advCopy := c.adv
+		res := Run(Config{
+			Protocol: server.P2, Users: 3, K: 6, Oracle: true,
+			Trace:     trace,
+			Adversary: &advCopy,
+		})
+		if res.Err != nil {
+			t.Fatalf("%v: %v", c.adv.Kind, res.Err)
+		}
+		if !res.Detected {
+			t.Fatalf("%v: not detected", c.adv.Kind)
+		}
+		if c.answerVisible && res.GroundTruthDeviationOp == 0 {
+			t.Fatalf("%v: oracle saw no deviation despite detection", c.adv.Kind)
+		}
+		if res.GroundTruthDeviationOp != 0 && res.GroundTruthDeviationOp < res.DeviatedAtOp {
+			t.Fatalf("%v: oracle (%d) precedes adversary mark (%d)",
+				c.adv.Kind, res.GroundTruthDeviationOp, res.DeviatedAtOp)
+		}
+	}
+}
+
+// TestOraclePartitionGroundTruth: in the Figure 1 workload the first
+// fork-served response (t2, reading Common.h) is exactly where the
+// formal deviation begins.
+func TestOraclePartitionGroundTruth(t *testing.T) {
+	trace, info := workload.Partitionable(2, 2, 8, 3)
+	res := Run(Config{
+		Protocol: server.P2, Users: 4, K: 4, Oracle: true,
+		Trace: trace,
+		Adversary: &adversary.Config{
+			Kind: adversary.Fork, TriggerOp: info.T1Op, GroupB: info.GroupB,
+		},
+	})
+	if res.Err != nil || !res.Detected {
+		t.Fatalf("%v %v", res.Err, res.Detection)
+	}
+	if res.GroundTruthDeviationOp != info.T2Op {
+		t.Fatalf("oracle at op %d, want t2 = %d", res.GroundTruthDeviationOp, info.T2Op)
+	}
+	if res.DeviatedAtOp != info.T2Op {
+		t.Fatalf("adversary mark %d, want %d", res.DeviatedAtOp, info.T2Op)
+	}
+}
+
+// TestForensicsLocalizesFork: with journals enabled, a detected fork
+// is localized to its first conflicting counter and the branch
+// membership matches the partition.
+func TestForensicsLocalizesFork(t *testing.T) {
+	trace, info := workload.Partitionable(2, 2, 8, 4)
+	res := Run(Config{
+		Protocol: server.P2, Users: 4, K: 4, JournalCap: 256,
+		Trace: trace,
+		Adversary: &adversary.Config{
+			Kind: adversary.Fork, TriggerOp: info.T1Op, GroupB: info.GroupB,
+		},
+	})
+	if !res.Detected {
+		t.Fatalf("not detected: %v", res.Err)
+	}
+	if res.Forensics == nil || !res.Forensics.Located {
+		t.Fatalf("fault not localized: %+v", res.Forensics)
+	}
+	// The fork splits at counter T1Op: the trusted chain assigns t1
+	// the counter equal to its op index, and the fork's first op
+	// claims the same slot.
+	if res.Forensics.ForkCtr != info.T1Op {
+		t.Fatalf("fork located at ctr %d, want %d (%s)", res.Forensics.ForkCtr, info.T1Op, res.Forensics)
+	}
+	if len(res.Forensics.Branches) != 2 {
+		t.Fatalf("branches: %s", res.Forensics)
+	}
+	// Group B users must all sit on one branch, group A on the other.
+	for _, br := range res.Forensics.Branches {
+		inB := 0
+		for _, u := range br.Users {
+			if info.GroupB[u] {
+				inB++
+			}
+		}
+		if inB != 0 && inB != len(br.Users) {
+			t.Fatalf("mixed branch membership: %s", res.Forensics)
+		}
+	}
+}
+
+// TestForensicsP1 also works for Protocol I's untagged state journal.
+func TestForensicsP1(t *testing.T) {
+	trace, info := workload.Partitionable(2, 2, 8, 5)
+	res := Run(Config{
+		Protocol: server.P1, Users: 4, K: 4, JournalCap: 256,
+		Trace: trace,
+		Adversary: &adversary.Config{
+			Kind: adversary.Fork, TriggerOp: info.T1Op, GroupB: info.GroupB,
+		},
+	})
+	if !res.Detected || res.Forensics == nil || !res.Forensics.Located {
+		t.Fatalf("P1 forensics failed: detected=%v forensics=%+v", res.Detected, res.Forensics)
+	}
+	if res.Forensics.ForkCtr != info.T1Op {
+		t.Fatalf("P1 fork at %d, want %d", res.Forensics.ForkCtr, info.T1Op)
+	}
+}
+
+// TestForensicsHonestNoReport: journals on an honest run produce no
+// report (no detection, so no localization runs).
+func TestForensicsHonestNoReport(t *testing.T) {
+	res := Run(Config{
+		Protocol: server.P2, Users: 2, K: 5, JournalCap: 64,
+		Trace: genericTrace(2, 30, 6),
+	})
+	if res.Detected || res.Forensics != nil {
+		t.Fatalf("honest run produced forensics: %+v", res.Forensics)
+	}
+}

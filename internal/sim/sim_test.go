@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"testing"
+
+	"trustedcvs/internal/adversary"
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/server"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/workload"
+)
+
+func genericTrace(users, ops int, seed int64) *workload.Trace {
+	return workload.Generate(workload.Config{
+		Users: users, Files: 10, Ops: ops, WriteRatio: 0.4, FilesPerOp: 2, Seed: seed,
+	})
+}
+
+func TestHonestRunsAllProtocols(t *testing.T) {
+	for _, p := range []server.Protocol{server.P1, server.P2} {
+		res := Run(Config{
+			Protocol: p, Users: 4, K: 5,
+			Trace: genericTrace(4, 120, 1),
+		})
+		if res.Err != nil {
+			t.Fatalf("%v: %v", p, res.Err)
+		}
+		if res.Detected {
+			t.Fatalf("%v: false positive: %v", p, res.Detection)
+		}
+		if res.TotalOps != 120 {
+			t.Fatalf("%v: ops %d", p, res.TotalOps)
+		}
+		if res.Syncs == 0 {
+			t.Fatalf("%v: no syncs ran", p)
+		}
+	}
+	// Protocol III with its workload.
+	res := Run(Config{
+		Protocol: server.P3, Users: 3, EpochLen: 30, LocalClocks: true,
+		Trace: workload.EveryUserTwicePerEpoch(3, 6, 30, 1),
+	})
+	if res.Err != nil {
+		t.Fatalf("P3: %v", res.Err)
+	}
+	if res.Detected {
+		t.Fatalf("P3 false positive: %v", res.Detection)
+	}
+	if res.EpochChecks == 0 {
+		t.Fatal("P3: no epoch checks ran")
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	// Protocol I uses 3 messages/op; Protocol II uses 2. With syncs
+	// disabled the counts are exact.
+	tr := genericTrace(2, 50, 2)
+	r1 := Run(Config{Protocol: server.P1, Users: 2, K: 0, Trace: tr})
+	r2 := Run(Config{Protocol: server.P2, Users: 2, K: 0, Trace: tr})
+	if r1.Err != nil || r2.Err != nil {
+		t.Fatalf("%v / %v", r1.Err, r2.Err)
+	}
+	if got := r1.Messages.UserToServer + r1.Messages.ServerToUser; got != 3*50 {
+		t.Fatalf("P1 per-op messages: %d", got)
+	}
+	if got := r2.Messages.UserToServer + r2.Messages.ServerToUser; got != 2*50 {
+		t.Fatalf("P2 per-op messages: %d", got)
+	}
+	// Sync broadcast accounting: n reports + 1 announcement per sync.
+	r := Run(Config{Protocol: server.P2, Users: 4, K: 5, Trace: genericTrace(4, 60, 3)})
+	if r.Syncs == 0 || r.Messages.Broadcast != r.Syncs*(4+1) {
+		t.Fatalf("broadcast accounting: syncs %d msgs %d", r.Syncs, r.Messages.Broadcast)
+	}
+}
+
+func TestPartitionAttackDetectedP1P2(t *testing.T) {
+	for _, p := range []server.Protocol{server.P1, server.P2} {
+		trace, info := workload.Partitionable(2, 2, 8, 1)
+		res := Run(Config{
+			Protocol: p, Users: 4, K: 4,
+			Trace: trace,
+			Adversary: &adversary.Config{
+				Kind:      adversary.Fork,
+				TriggerOp: info.T1Op,
+				GroupB:    info.GroupB,
+			},
+		})
+		if res.Err != nil {
+			t.Fatalf("%v: %v", p, res.Err)
+		}
+		if !res.Detected {
+			t.Fatalf("%v: partition not detected", p)
+		}
+		if res.Detection.Class != core.SyncMismatch {
+			t.Fatalf("%v: wrong class %v", p, res.Detection.Class)
+		}
+		// Theorem 4.1/4.2 bound: no user completed more than k ops
+		// after the deviation.
+		if res.MaxUserOpsAfterDeviation > 4 {
+			t.Fatalf("%v: k-bound violated: %d > 4", p, res.MaxUserOpsAfterDeviation)
+		}
+	}
+}
+
+func TestPartitionUndetectedWithoutSync(t *testing.T) {
+	// Theorem 3.1's demonstration: with external communication
+	// disabled (K=0), the partition attack survives arbitrarily many
+	// operations.
+	trace, info := workload.Partitionable(2, 2, 64, 1)
+	res := Run(Config{
+		Protocol: server.P2, Users: 4, K: 0,
+		Trace: trace,
+		Adversary: &adversary.Config{
+			Kind:      adversary.Fork,
+			TriggerOp: info.T1Op,
+			GroupB:    info.GroupB,
+		},
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Detected {
+		t.Fatalf("partition detected without external communication?! %v", res.Detection)
+	}
+	if res.MaxUserOpsAfterDeviation < 65 {
+		t.Fatalf("trace should have 65 post-deviation ops by one user, got %d", res.MaxUserOpsAfterDeviation)
+	}
+}
+
+func TestPartitionDetectedP3WithinTwoEpochs(t *testing.T) {
+	trace := workload.EveryUserTwicePerEpoch(4, 8, 40, 2)
+	res := Run(Config{
+		Protocol: server.P3, Users: 4, EpochLen: 40, LocalClocks: true,
+		Trace: trace,
+		Adversary: &adversary.Config{
+			Kind:      adversary.Fork,
+			TriggerOp: 12, // early in epoch 1 (8 warm-up ops in epoch 0)
+			GroupB:    map[sig.UserID]bool{2: true, 3: true},
+		},
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Detected {
+		t.Fatal("P3 did not detect the partition")
+	}
+	// Theorem 4.3: detection within two epochs of the fault's epoch.
+	// The fork lands in epoch 1, so detection must occur by the end of
+	// epoch 3 — i.e. before round 4*40.
+	if res.Rounds > 4*40 {
+		t.Fatalf("detected too late: round %d", res.Rounds)
+	}
+}
+
+func TestTamperAnswerDetectedImmediately(t *testing.T) {
+	for _, p := range []server.Protocol{server.P1, server.P2} {
+		res := Run(Config{
+			Protocol: p, Users: 3, K: 10,
+			Trace:     genericTrace(3, 40, 4),
+			Adversary: &adversary.Config{Kind: adversary.TamperAnswer, TriggerOp: 17},
+		})
+		if !res.Detected || res.Detection.Class != core.BadAnswer {
+			t.Fatalf("%v: %+v", p, res.Detection)
+		}
+		if res.OpsAfterDeviation != 0 {
+			t.Fatalf("%v: tampered answer should be caught on the spot, delay %d", p, res.OpsAfterDeviation)
+		}
+	}
+}
+
+func TestTamperStateDetected(t *testing.T) {
+	// Silent data rewrite: Protocol I catches it as a signature/root
+	// mismatch on the very next op; Protocol II at the next op too
+	// (the VO's root no longer chains... it surfaces at sync).
+	res := Run(Config{
+		Protocol: server.P1, Users: 2, K: 10,
+		Trace: genericTrace(2, 30, 5),
+		Adversary: &adversary.Config{
+			Kind: adversary.TamperState, TriggerOp: 9,
+			Key: "planted-by-server", Value: []byte("evil"),
+		},
+	})
+	if !res.Detected {
+		t.Fatal("state tamper not detected under P1")
+	}
+	if res.Detection.Class != core.BadSignature {
+		t.Fatalf("P1 should catch tampering via the signature check, got %v", res.Detection.Class)
+	}
+
+	res = Run(Config{
+		Protocol: server.P2, Users: 2, K: 5,
+		Trace: genericTrace(2, 30, 5),
+		Adversary: &adversary.Config{
+			Kind: adversary.TamperState, TriggerOp: 9,
+			Key: "planted-by-server", Value: []byte("evil"),
+		},
+	})
+	if !res.Detected || res.Detection.Class != core.SyncMismatch {
+		t.Fatalf("P2 should catch tampering at sync, got %+v", res.Detection)
+	}
+}
+
+func TestDropUpdateDetected(t *testing.T) {
+	for _, p := range []server.Protocol{server.P1, server.P2} {
+		res := Run(Config{
+			Protocol: p, Users: 3, K: 6,
+			Trace:     genericTrace(3, 60, 6),
+			Adversary: &adversary.Config{Kind: adversary.DropUpdate, TriggerOp: 11},
+		})
+		if !res.Detected {
+			t.Fatalf("%v: dropped update not detected", p)
+		}
+		if res.Detection.Class != core.SyncMismatch {
+			t.Fatalf("%v: class %v", p, res.Detection.Class)
+		}
+	}
+}
+
+func TestReplayStaleDetected(t *testing.T) {
+	res := Run(Config{
+		Protocol: server.P2, Users: 3, K: 6,
+		Trace:     genericTrace(3, 80, 7),
+		Adversary: &adversary.Config{Kind: adversary.ReplayStale, TriggerOp: 15, Target: 1},
+	})
+	if !res.Detected {
+		t.Fatal("stale replay not detected")
+	}
+}
+
+func TestCounterReplayDetected(t *testing.T) {
+	res := Run(Config{
+		Protocol: server.P2, Users: 2, K: 10,
+		Trace:     genericTrace(2, 60, 8),
+		Adversary: &adversary.Config{Kind: adversary.CounterReplay, TriggerOp: 20},
+	})
+	if !res.Detected {
+		t.Fatal("counter replay not detected")
+	}
+	// Either the victim sees its own counter repeated (CounterReplay)
+	// or another user's chain breaks at sync.
+	if c := res.Detection.Class; c != core.CounterReplay && c != core.SyncMismatch {
+		t.Fatalf("class %v", c)
+	}
+}
+
+func TestStallEpochsDetected(t *testing.T) {
+	res := Run(Config{
+		Protocol: server.P3, Users: 2, EpochLen: 20, LocalClocks: true,
+		Trace:     workload.EveryUserTwicePerEpoch(2, 5, 20, 9),
+		Adversary: &adversary.Config{Kind: adversary.StallEpochs},
+	})
+	if !res.Detected || res.Detection.Class != core.EpochViolation {
+		t.Fatalf("stalled epochs: %+v", res.Detection)
+	}
+}
+
+func TestWithholdBackupDetected(t *testing.T) {
+	res := Run(Config{
+		Protocol: server.P3, Users: 3, EpochLen: 30,
+		Trace:     workload.EveryUserTwicePerEpoch(3, 6, 30, 10),
+		Adversary: &adversary.Config{Kind: adversary.WithholdBackup, Target: 1},
+	})
+	if !res.Detected || res.Detection.Class != core.EpochViolation {
+		t.Fatalf("withheld backup: %+v", res.Detection)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if res := Run(Config{Protocol: server.P2, Users: 0}); res.Err == nil {
+		t.Fatal("want error for zero users")
+	}
+	if res := Run(Config{Protocol: server.P3, Users: 2, Trace: genericTrace(2, 5, 1)}); res.Err == nil {
+		t.Fatal("want error for P3 without EpochLen")
+	}
+	if res := Run(Config{Protocol: server.P2, Users: 1, Trace: genericTrace(2, 5, 1)}); res.Err == nil {
+		t.Fatal("want error for trace/user mismatch")
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"trustedcvs/internal/adversary"
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/server"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/workload"
+)
+
+// TestStressRandomizedAdversaries fuzzes the whole stack: random
+// populations, sync periods, workloads and adversary configurations,
+// across Protocols I and II, with the ground-truth oracle enabled.
+// Invariants checked on every run:
+//
+//  1. soundness   — honest servers are never flagged;
+//  2. completeness — any attack that deviates is detected before the
+//     busiest user completes k post-deviation operations;
+//  3. oracle      — whenever an answer-level deviation exists, the
+//     protocol detected (the converse need not hold, see oracle.go);
+//  4. no harness errors.
+func TestStressRandomizedAdversaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	kinds := []adversary.Kind{
+		adversary.Honest,
+		adversary.Fork,
+		adversary.ReplayStale,
+		adversary.DropUpdate,
+		adversary.TamperAnswer,
+		adversary.TamperState,
+		adversary.CounterReplay,
+	}
+	const runs = 120
+	for i := 0; i < runs; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		users := 2 + rng.Intn(5)
+		k := uint64(1 + rng.Intn(12))
+		proto := []server.Protocol{server.P1, server.P2}[rng.Intn(2)]
+		kind := kinds[rng.Intn(len(kinds))]
+		trigger := uint64(5 + rng.Intn(30))
+		// Enough post-trigger activity that every user passes several
+		// sync windows.
+		ops := int(trigger) + users*int(k)*3 + 40
+
+		trace := workload.Generate(workload.Config{
+			Users: users, Files: 8 + rng.Intn(10), Ops: ops,
+			WriteRatio: 0.3 + rng.Float64()*0.5,
+			FilesPerOp: 1 + rng.Intn(3),
+			ZipfS:      1.2,
+			Seed:       int64(i * 7),
+		})
+
+		var adv *adversary.Config
+		if kind != adversary.Honest {
+			adv = &adversary.Config{Kind: kind, TriggerOp: trigger, Target: sig.UserID(rng.Intn(users))}
+			if kind == adversary.Fork {
+				adv.GroupB = map[sig.UserID]bool{}
+				for u := 0; u < users; u++ {
+					if rng.Intn(2) == 0 {
+						adv.GroupB[sig.UserID(u)] = true
+					}
+				}
+				if len(adv.GroupB) == 0 || len(adv.GroupB) == users {
+					adv.GroupB = map[sig.UserID]bool{0: true}
+				}
+			}
+			if kind == adversary.TamperState {
+				adv.Key, adv.Value = "planted", []byte("evil")
+			}
+		}
+
+		res := Run(Config{
+			Protocol: proto, Users: users, K: k,
+			Trace: trace, Adversary: adv, Oracle: true,
+		})
+		ctx := func() string {
+			return t.Name() + ": " + proto.String() + "/" + kind.String()
+		}
+		if res.Err != nil {
+			t.Fatalf("%s run %d: harness error: %v", ctx(), i, res.Err)
+		}
+		if kind == adversary.Honest {
+			if res.Detected {
+				t.Fatalf("%s run %d: FALSE POSITIVE: %v", ctx(), i, res.Detection)
+			}
+			if res.GroundTruthDeviationOp != 0 {
+				t.Fatalf("%s run %d: oracle flagged honest run", ctx(), i)
+			}
+			continue
+		}
+		// Completeness: every configured attack here eventually forces
+		// either an immediate check failure or a sync mismatch within
+		// the k-bound.
+		if res.DeviatedAtOp > 0 {
+			if !res.Detected {
+				t.Fatalf("%s run %d: deviation at op %d never detected (oracle %d, ops %d)",
+					ctx(), i, res.DeviatedAtOp, res.GroundTruthDeviationOp, res.TotalOps)
+			}
+			if res.MaxUserOpsAfterDeviation > int(k) {
+				t.Fatalf("%s run %d: k-bound violated: %d > %d (class %v)",
+					ctx(), i, res.MaxUserOpsAfterDeviation, k, res.Detection.Class)
+			}
+		}
+		// Oracle direction: answer-level deviation implies detection.
+		if res.GroundTruthDeviationOp > 0 && !res.Detected {
+			t.Fatalf("%s run %d: oracle deviation at %d but no detection", ctx(), i, res.GroundTruthDeviationOp)
+		}
+	}
+}
+
+// TestStressP3 fuzzes Protocol III with fork adversaries at random
+// epochs and asserts the two-epoch bound.
+func TestStressP3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for i := 0; i < 40; i++ {
+		rng := rand.New(rand.NewSource(int64(i + 1000)))
+		users := 2 + rng.Intn(5)
+		epochLen := 4*users + rng.Intn(8)
+		faultEpoch := rng.Intn(3)
+		epochs := faultEpoch + 5
+
+		trace := workload.EveryUserTwicePerEpoch(users, epochs, epochLen, int64(i))
+		groupB := map[sig.UserID]bool{sig.UserID(rng.Intn(users)): true}
+		trigger := uint64(2*users*faultEpoch + 1 + rng.Intn(users))
+
+		res := Run(Config{
+			Protocol: server.P3, Users: users, EpochLen: epochLen, LocalClocks: true,
+			Trace:     trace,
+			Adversary: &adversary.Config{Kind: adversary.Fork, TriggerOp: trigger, GroupB: groupB},
+		})
+		if res.Err != nil {
+			t.Fatalf("run %d: %v", i, res.Err)
+		}
+		if res.DeviatedAtOp == 0 {
+			continue // the single group-B user never hit the fork window
+		}
+		if !res.Detected {
+			t.Fatalf("run %d: fork in epoch %d undetected (users %d)", i, faultEpoch, users)
+		}
+		detEpoch := (res.Rounds - 1) / epochLen
+		if detEpoch > faultEpoch+2 {
+			t.Fatalf("run %d: detected in epoch %d, fault in %d (bound +2)", i, detEpoch, faultEpoch)
+		}
+		if c := res.Detection.Class; c != core.SyncMismatch && c != core.EpochViolation && c != core.CounterReplay && c != core.BadVO {
+			t.Fatalf("run %d: unexpected class %v", i, c)
+		}
+	}
+}

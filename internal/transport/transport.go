@@ -1,0 +1,123 @@
+// Package transport provides the client/server plumbing: a TCP server
+// that serializes requests into a protocol handler, a TCP dialer, and
+// an in-process transport with the same interface for tests, examples
+// and benchmarks.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"trustedcvs/internal/wire"
+)
+
+// Caller is a synchronous request/response client.
+type Caller interface {
+	Call(req any) (any, error)
+	Close() error
+}
+
+// Handler processes one request. Handlers are invoked serially by
+// every transport in this package (the protocol state machines are
+// sequential objects, matching the paper's serial server).
+type Handler func(req any) (any, error)
+
+// Inproc is an in-process Caller invoking a handler directly.
+type Inproc struct {
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+}
+
+// NewInproc wraps a handler.
+func NewInproc(h Handler) *Inproc { return &Inproc{handler: h} }
+
+// Call implements Caller.
+func (c *Inproc) Call(req any) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("transport: closed")
+	}
+	return c.handler(req)
+}
+
+// Close implements Caller.
+func (c *Inproc) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// Server accepts TCP connections and feeds every request through one
+// serialized handler.
+type Server struct {
+	lis     net.Listener
+	handler Handler
+
+	mu     sync.Mutex // serializes handler invocations across conns
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// Listen starts a server on addr ("127.0.0.1:0" picks a free port).
+func Listen(addr string, h Handler) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{lis: lis, handler: h, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				// Accept errors on a live listener are rare and
+				// transient; a closed listener exits above.
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			_ = wire.Serve(conn, func(req any) (any, error) {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return s.handler(req)
+			})
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish
+// their current request. Open client connections are severed.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.lis.Close()
+	return err
+}
+
+// Dial connects to a transport server.
+func Dial(addr string) (Caller, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return wire.NewConn(conn), nil
+}

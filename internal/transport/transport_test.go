@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"trustedcvs/internal/core"
+)
+
+func echoHandler(req any) (any, error) {
+	if r, ok := req.(*core.SyncRequest); ok {
+		return &core.SyncRequest{From: r.From, Round: r.Round * 2}, nil
+	}
+	return nil, fmt.Errorf("unexpected %T", req)
+}
+
+func TestInproc(t *testing.T) {
+	c := NewInproc(echoHandler)
+	resp, err := c.Call(&core.SyncRequest{Round: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*core.SyncRequest).Round != 42 {
+		t.Fatalf("resp: %+v", resp)
+	}
+	c.Close()
+	if _, err := c.Call(&core.SyncRequest{}); err == nil {
+		t.Fatal("closed caller must error")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := uint64(1); i <= 10; i++ {
+		resp, err := c.Call(&core.SyncRequest{Round: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.(*core.SyncRequest).Round != 2*i {
+			t.Fatalf("round %d: %+v", i, resp)
+		}
+	}
+}
+
+func TestTCPServerSerializesHandler(t *testing.T) {
+	var mu sync.Mutex
+	inFlight, maxInFlight := 0, 0
+	srv, err := Listen("127.0.0.1:0", func(req any) (any, error) {
+		mu.Lock()
+		inFlight++
+		if inFlight > maxInFlight {
+			maxInFlight = inFlight
+		}
+		mu.Unlock()
+		defer func() {
+			mu.Lock()
+			inFlight--
+			mu.Unlock()
+		}()
+		return echoHandler(req)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 50; i++ {
+				if _, err := c.Call(&core.SyncRequest{Round: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInFlight != 1 {
+		t.Fatalf("handler ran %d-way concurrent; transports must serialize", maxInFlight)
+	}
+}
+
+func TestServerErrorsPropagate(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", func(any) (any, error) {
+		return nil, fmt.Errorf("refused")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(&core.OKResponse{}); err == nil {
+		t.Fatal("want server error")
+	}
+}

@@ -1,0 +1,101 @@
+package vdb
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCASLifecycle(t *testing.T) {
+	db := New(0)
+
+	// Create-if-absent.
+	ansBytes, _ := applyAndVerify(t, db, &CASOp{Key: "lock", Expect: nil, New: []byte("alice")})
+	ans, _ := DecodeAnswer(ansBytes)
+	if ca := ans.(CASAnswer); !ca.Swapped {
+		t.Fatalf("create CAS: %+v", ca)
+	}
+	// Second create-if-absent loses, reporting the holder.
+	ansBytes, _ = applyAndVerify(t, db, &CASOp{Key: "lock", Expect: nil, New: []byte("bob")})
+	ans, _ = DecodeAnswer(ansBytes)
+	if ca := ans.(CASAnswer); ca.Swapped || string(ca.Actual) != "alice" {
+		t.Fatalf("losing CAS: %+v", ca)
+	}
+	// Swap with the right expectation.
+	ansBytes, _ = applyAndVerify(t, db, &CASOp{Key: "lock", Expect: []byte("alice"), New: []byte("bob")})
+	ans, _ = DecodeAnswer(ansBytes)
+	if ca := ans.(CASAnswer); !ca.Swapped {
+		t.Fatalf("handover CAS: %+v", ca)
+	}
+	// Stale expectation loses.
+	ansBytes, _ = applyAndVerify(t, db, &CASOp{Key: "lock", Expect: []byte("alice"), New: []byte("carol")})
+	ans, _ = DecodeAnswer(ansBytes)
+	if ca := ans.(CASAnswer); ca.Swapped || string(ca.Actual) != "bob" {
+		t.Fatalf("stale CAS: %+v", ca)
+	}
+}
+
+func TestCASValidation(t *testing.T) {
+	db := New(0)
+	if _, _, err := db.Apply(&CASOp{}); !errors.Is(err, ErrBadOp) {
+		t.Fatalf("empty key: %v", err)
+	}
+}
+
+// TestCASServerCannotLieAboutOutcome: the server claims the swap
+// succeeded when it did not (or vice versa); the verifier's replay of
+// the conditional catches it either way.
+func TestCASServerCannotLieAboutOutcome(t *testing.T) {
+	db := New(0)
+	applyAndVerify(t, db, &WriteOp{Puts: []KV{{Key: "lock", Val: []byte("alice")}}})
+
+	op := &CASOp{Key: "lock", Expect: []byte("bob"), New: []byte("mallory")}
+	oldRoot := db.Root()
+	_, vo, err := db.Apply(op) // honest outcome: not swapped
+	if err != nil {
+		t.Fatal(err)
+	}
+	lie, err := EncodeAnswer(CASAnswer{Swapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(op, lie, vo, oldRoot); !errors.Is(err, ErrAnswerMismatch) {
+		t.Fatalf("forged CAS outcome not caught: %v", err)
+	}
+}
+
+// TestRangeCompletenessAttack: the server omits one record from a
+// range answer — the classic completeness violation the paper's
+// related work worries about ("neglected to report"). The replayed
+// range disagrees and the answer is rejected.
+func TestRangeCompletenessAttack(t *testing.T) {
+	db := New(0)
+	puts := []KV{}
+	for i := 0; i < 10; i++ {
+		puts = append(puts, KV{Key: string(rune('a' + i)), Val: []byte{byte(i)}})
+	}
+	applyAndVerify(t, db, &WriteOp{Puts: puts})
+
+	op := &RangeOp{Lo: "a", Hi: "z"}
+	oldRoot := db.Root()
+	ansBytes, vo, err := db.Apply(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, err := DecodeAnswer(ansBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := honest.(RangeAnswer)
+	if len(ra.Results) != 10 {
+		t.Fatalf("setup: %d results", len(ra.Results))
+	}
+	// Omit the middle record and re-encode.
+	ra.Results = append(ra.Results[:5:5], ra.Results[6:]...)
+	forged, err := EncodeAnswer(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(op, forged, vo, oldRoot); !errors.Is(err, ErrAnswerMismatch) {
+		t.Fatalf("incomplete range answer not caught: %v", err)
+	}
+}

@@ -1,0 +1,19 @@
+package vdb
+
+import "encoding/gob"
+
+// Ops and answers travel inside interface-typed fields (Op, any), so
+// their concrete types must be registered with gob. Each package
+// registers its own types; internal/cvs does the same for the CVS ops.
+func init() {
+	gob.Register(&ReadOp{})
+	gob.Register(&WriteOp{})
+	gob.Register(&RangeOp{})
+	gob.Register(&NopOp{})
+	gob.Register(&CASOp{})
+	gob.Register(ReadAnswer{})
+	gob.Register(WriteAnswer{})
+	gob.Register(RangeAnswer{})
+	gob.Register(NopAnswer{})
+	gob.Register(CASAnswer{})
+}

@@ -1,0 +1,298 @@
+// Package vdb implements the paper's "database of data items" (Section
+// 2.1): an authenticated key-value database on which every CVS
+// operation is modeled as a deterministic transaction.
+//
+// The central abstraction is Op: a deterministic, wire-encodable state
+// transition. The server applies an Op to its Merkle tree while
+// recording every node touched, producing (answer, verification
+// object, ctr). The client *replays the same Op* on the pruned
+// pre-state shipped in the VO — recomputing the old root digest, the
+// answer, and the new root digest independently. Anything the server
+// lied about (the answer, the pre-state, the post-state) surfaces as a
+// typed verification error. This generalizes the paper's v(Q, D) from
+// single-key updates to arbitrary deterministic transactions, which is
+// what lets the CVS layer make commits atomic.
+package vdb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"trustedcvs/internal/digest"
+	"trustedcvs/internal/merkle"
+)
+
+// ErrAnswerMismatch is returned when the server's claimed answer
+// differs from the answer obtained by replaying the operation — an
+// integrity violation.
+var ErrAnswerMismatch = errors.New("vdb: answer does not match verified replay")
+
+// ErrNewRootMismatch is returned when the server's claimed new root
+// digest differs from the replayed one.
+var ErrNewRootMismatch = errors.New("vdb: new root digest does not match verified replay")
+
+// A Tx gives an Op read/write access to the database state during
+// Apply. The same Tx type fronts the server's recording tree and the
+// client's pruned replay tree, guaranteeing both sides run identical
+// code.
+type Tx struct {
+	rec  *merkle.Recording // server side (recording); nil on replay
+	tree *merkle.Tree      // client side (replay); nil on server
+}
+
+// Get reads a key.
+func (tx *Tx) Get(key string) ([]byte, bool, error) {
+	if tx.rec != nil {
+		return tx.rec.Get(key)
+	}
+	v, ok, err := tx.tree.GetErr(key)
+	return v, ok, err
+}
+
+// Put writes a key. The value is copied.
+func (tx *Tx) Put(key string, val []byte) error {
+	val = append([]byte(nil), val...)
+	if tx.rec != nil {
+		return tx.rec.Put(key, val)
+	}
+	nt, err := tx.tree.PutErr(key, val)
+	if err != nil {
+		return err
+	}
+	tx.tree = nt
+	return nil
+}
+
+// Delete removes a key, reporting whether it existed.
+func (tx *Tx) Delete(key string) (bool, error) {
+	if tx.rec != nil {
+		return tx.rec.Delete(key)
+	}
+	nt, found, err := tx.tree.DeleteErr(key)
+	if err != nil {
+		return false, err
+	}
+	tx.tree = nt
+	return found, nil
+}
+
+// Range scans keys in [lo, hi) in order ("" hi = unbounded).
+func (tx *Tx) Range(lo, hi string, fn func(key string, val []byte) bool) error {
+	if tx.rec != nil {
+		return tx.rec.Range(lo, hi, fn)
+	}
+	return tx.tree.Range(lo, hi, fn)
+}
+
+// An Op is a deterministic transaction. Apply must depend only on the
+// Op's fields and the Tx state: no clocks, no randomness, no maps
+// iterated in answer order. The returned answer must be gob-encodable
+// and deterministic (use slices, not maps).
+//
+// Implementations live in this package (ReadOp, WriteOp, RangeOp) and
+// in internal/cvs (CommitOp, CheckoutOp, LogOp, ...). Concrete types
+// must be registered with gob (internal/wire does this).
+type Op interface {
+	Apply(tx *Tx) (answer any, err error)
+}
+
+// EncodeAnswer canonically encodes an answer for transmission and
+// comparison. Answer equality is byte equality of this encoding.
+func EncodeAnswer(ans any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&ans); err != nil {
+		return nil, fmt.Errorf("vdb: encode answer: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeAnswer decodes an answer produced by EncodeAnswer.
+func DecodeAnswer(b []byte) (any, error) {
+	var ans any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&ans); err != nil {
+		return nil, fmt.Errorf("vdb: decode answer: %w", err)
+	}
+	return ans, nil
+}
+
+// canonicalAnswer re-encodes untrusted answer bytes in the verifier's
+// own process. Gob assigns wire type IDs from a process-global counter,
+// so byte streams from different binaries legitimately differ even for
+// equal values; decode + local re-encode yields bytes comparable to a
+// local EncodeAnswer. Soundness is preserved: what the user consumes is
+// the decoded value, and equal decoded values re-encode identically
+// within one process.
+func canonicalAnswer(b []byte) ([]byte, error) {
+	v, err := DecodeAnswer(b)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeAnswer(v)
+}
+
+// DB is the server-side authenticated database: the Merkle tree plus
+// the operation counter ctr from Protocol I ("the count of the number
+// of operations performed on the database").
+type DB struct {
+	tree *merkle.Tree
+	ctr  uint64
+}
+
+// New creates an empty database with the given Merkle branching factor
+// (0 = merkle.DefaultOrder).
+func New(order int) *DB {
+	return &DB{tree: merkle.New(order)}
+}
+
+// Ctr returns the number of operations applied so far.
+func (db *DB) Ctr() uint64 { return db.ctr }
+
+// Root returns the current root digest M(D).
+func (db *DB) Root() digest.Digest { return db.tree.RootDigest() }
+
+// Len returns the number of records.
+func (db *DB) Len() int { return db.tree.Len() }
+
+// Apply executes op, increments ctr, and returns the canonical answer
+// encoding plus the verification object for the transition. On error
+// the database is unchanged.
+func (db *DB) Apply(op Op) (ansBytes []byte, vo *merkle.VO, err error) {
+	rec := db.tree.Record()
+	ans, err := op.Apply(&Tx{rec: rec})
+	if err != nil {
+		return nil, nil, err
+	}
+	ansBytes, err = EncodeAnswer(ans)
+	if err != nil {
+		return nil, nil, err
+	}
+	db.tree = rec.Tree()
+	db.ctr++
+	return ansBytes, rec.VO(), nil
+}
+
+// Preload applies op without advancing ctr or building a VO. It
+// constructs the initial database state D₀ (which the paper allows to
+// be arbitrary, with M(D₀) common knowledge) before any protocol
+// starts; it must not be called afterwards.
+func (db *DB) Preload(op Op) error {
+	tx := &Tx{tree: db.tree}
+	if _, err := op.Apply(tx); err != nil {
+		return err
+	}
+	db.tree = tx.tree
+	return nil
+}
+
+// ApplyPlain executes op without building a verification object — the
+// trusted-server execution path, used as the performance floor in the
+// workload-preservation experiments (desideratum 3).
+func (db *DB) ApplyPlain(op Op) (ansBytes []byte, err error) {
+	tx := &Tx{tree: db.tree}
+	ans, err := op.Apply(tx)
+	if err != nil {
+		return nil, err
+	}
+	ansBytes, err = EncodeAnswer(ans)
+	if err != nil {
+		return nil, err
+	}
+	db.tree = tx.tree
+	db.ctr++
+	return ansBytes, nil
+}
+
+// Snapshot captures the database (tree structure + operation counter)
+// for persistence. The restored database has the identical root
+// digest, so a restarted server stays consistent with every client's
+// verified state.
+func (db *DB) Snapshot() *DBSnapshot {
+	return &DBSnapshot{Ctr: db.ctr, Tree: db.tree.Snapshot()}
+}
+
+// DBSnapshot is the persistent form of a DB.
+type DBSnapshot struct {
+	Ctr  uint64
+	Tree *merkle.Snapshot
+}
+
+// RestoreDB rebuilds a database from a snapshot.
+func RestoreDB(s *DBSnapshot) (*DB, error) {
+	if s == nil || s.Tree == nil {
+		return nil, errors.New("vdb: nil snapshot")
+	}
+	t, err := merkle.Restore(s.Tree)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{tree: t, ctr: s.Ctr}, nil
+}
+
+// Fork returns an independent copy of the database sharing structure
+// with the original — the primitive the adversary package uses to
+// mount the Figure 1 partition attack. Cheap because the tree is
+// persistent.
+func (db *DB) Fork() *DB {
+	return &DB{tree: db.tree, ctr: db.ctr}
+}
+
+// VerifyDerive replays op on the VO's pruned pre-state without a
+// prior expectation of the old root: it returns both the old root
+// digest *derived from the VO* and the post-state root. The replayed
+// answer is checked against the server's claimed answer.
+//
+// Protocol I authenticates the derived old root with the previous
+// user's signature over h(M(D)‖ctr); Protocol II feeds it into the
+// XOR registers and authenticates the whole chain at sync time. A
+// client that instead tracks its own trusted root (single-user
+// setting) uses Verify.
+func VerifyDerive(op Op, claimedAns []byte, vo *merkle.VO) (oldRoot, newRoot digest.Digest, err error) {
+	if vo == nil {
+		return digest.Zero, digest.Zero, errors.New("vdb: missing verification object")
+	}
+	t, err := vo.Tree()
+	if err != nil {
+		return digest.Zero, digest.Zero, err
+	}
+	oldRoot = t.RootDigest()
+	tx := &Tx{tree: t}
+	ans, err := op.Apply(tx)
+	if err != nil {
+		return digest.Zero, digest.Zero, err
+	}
+	got, err := EncodeAnswer(ans)
+	if err != nil {
+		return digest.Zero, digest.Zero, err
+	}
+	claimed, err := canonicalAnswer(claimedAns)
+	if err != nil {
+		return digest.Zero, digest.Zero, fmt.Errorf("%w (undecodable claim: %v)", ErrAnswerMismatch, err)
+	}
+	if !bytes.Equal(got, claimed) {
+		return digest.Zero, digest.Zero, ErrAnswerMismatch
+	}
+	return oldRoot, tx.tree.RootDigest(), nil
+}
+
+// Verify is the client side for a caller that already trusts a root:
+// it replays op on the VO's pruned pre-state, checks the pre-state
+// against oldRoot, checks the replayed answer against the server's
+// claimed answer, and returns the post-state root digest the client
+// computed itself.
+//
+// Verify enforces the three checks of Section 4.1: the VO is
+// consistent with the trusted root, the answer is what the committed
+// database yields, and the new root is the correct successor state.
+func Verify(op Op, claimedAns []byte, vo *merkle.VO, oldRoot digest.Digest) (newRoot digest.Digest, err error) {
+	derivedOld, newRoot, err := VerifyDerive(op, claimedAns, vo)
+	if err != nil {
+		return digest.Zero, err
+	}
+	if derivedOld != oldRoot {
+		return digest.Zero, fmt.Errorf("%w: VO root %s, trusted root %s",
+			merkle.ErrRootMismatch, derivedOld.Short(), oldRoot.Short())
+	}
+	return newRoot, nil
+}

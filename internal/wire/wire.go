@@ -1,0 +1,152 @@
+// Package wire implements the framing and codec used on every network
+// connection: length-prefixed, gob-encoded envelopes. Each message is
+// a self-contained gob stream, so readers never depend on connection
+// history, and a hard size limit protects against hostile peers (the
+// server is untrusted, after all).
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MaxMessage is the largest accepted frame (16 MiB) — far above any
+// legitimate VO or content blob in this system, far below a memory
+// exhaustion attack.
+const MaxMessage = 16 << 20
+
+// ErrTooLarge is returned for frames exceeding MaxMessage.
+var ErrTooLarge = errors.New("wire: message exceeds size limit")
+
+// envelope wraps the payload so gob can transport interface values.
+type envelope struct {
+	Payload any
+}
+
+// ErrorReply carries a server-side error back to the caller.
+type ErrorReply struct {
+	Msg string
+}
+
+func init() {
+	gob.Register(&ErrorReply{})
+}
+
+// Write frames and writes one message.
+func Write(w io.Writer, msg any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&envelope{Payload: msg}); err != nil {
+		return fmt.Errorf("wire: encode %T: %w", msg, err)
+	}
+	if buf.Len() > MaxMessage {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, buf.Len())
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return nil
+}
+
+// Read reads one framed message.
+func Read(r io.Reader) (any, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessage {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return env.Payload, nil
+}
+
+// Size returns the encoded frame size of msg — used by experiments
+// that report wire bytes (VO sizes, sync traffic).
+func Size(msg any) (int, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&envelope{Payload: msg}); err != nil {
+		return 0, err
+	}
+	return buf.Len() + 4, nil
+}
+
+// Conn is a synchronous request/response client over any stream. It
+// serializes concurrent callers.
+type Conn struct {
+	mu sync.Mutex
+	rw io.ReadWriter
+	c  io.Closer // optional
+}
+
+// NewConn wraps a stream. If rw also implements io.Closer, Close
+// closes it.
+func NewConn(rw io.ReadWriter) *Conn {
+	c, _ := rw.(io.Closer)
+	return &Conn{rw: rw, c: c}
+}
+
+// Call sends req and waits for the reply. A server-side ErrorReply is
+// converted into an error.
+func (c *Conn) Call(req any) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := Write(c.rw, req); err != nil {
+		return nil, err
+	}
+	resp, err := Read(c.rw)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := resp.(*ErrorReply); ok {
+		return nil, fmt.Errorf("wire: server: %s", e.Msg)
+	}
+	return resp, nil
+}
+
+// Close closes the underlying stream when possible.
+func (c *Conn) Close() error {
+	if c.c != nil {
+		return c.c.Close()
+	}
+	return nil
+}
+
+// Serve answers requests on a stream until it closes: each incoming
+// message is passed to handler and the result (or an ErrorReply)
+// written back. Returns nil on clean EOF.
+func Serve(rw io.ReadWriter, handler func(any) (any, error)) error {
+	for {
+		req, err := Read(rw)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		resp, err := handler(req)
+		if err != nil {
+			resp = &ErrorReply{Msg: err.Error()}
+		}
+		if err := Write(rw, resp); err != nil {
+			return err
+		}
+	}
+}

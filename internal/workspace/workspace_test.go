@@ -1,0 +1,305 @@
+package workspace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"trustedcvs/internal/cvs"
+	"trustedcvs/internal/vdb"
+)
+
+// fixture: one repository, a committing "other user" client, and a
+// workspace for "me" in a temp dir.
+type fixture struct {
+	t     *testing.T
+	other *cvs.Client
+	ws    *Workspace
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	db := vdb.New(0)
+	store := cvs.NewStore()
+	sess := vdb.NewSession(db)
+	clock := func() time.Time { return time.Unix(1144065600, 0) }
+	me := cvs.NewClient(sess, store, "me", clock)
+	other := cvs.NewClient(sess, store, "other", clock)
+	ws, err := Open(t.TempDir(), me)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{t: t, other: other, ws: ws}
+}
+
+func (f *fixture) commitOther(path, content string) {
+	f.t.Helper()
+	if _, err := f.other.Commit(map[string][]byte{path: []byte(content)}, "by other", nil); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+func (f *fixture) writeLocal(path, content string) {
+	f.t.Helper()
+	fp, err := f.ws.fsPath(path)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(fp), 0o755); err != nil {
+		f.t.Fatal(err)
+	}
+	if err := os.WriteFile(fp, []byte(content), 0o644); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+func (f *fixture) readLocal(path string) string {
+	f.t.Helper()
+	b, err := f.ws.read(path)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestCheckoutStatusCommitCycle(t *testing.T) {
+	f := newFixture(t)
+	f.commitOther("src/main.c", "int main(){}\n")
+	f.commitOther("README", "docs\n")
+
+	if err := f.ws.CheckoutAll(""); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.readLocal("src/main.c"); got != "int main(){}\n" {
+		t.Fatalf("checked-out content: %q", got)
+	}
+	// Everything clean.
+	st, err := f.ws.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range st {
+		if s.Modified || s.OutOfDate || s.Missing {
+			t.Fatalf("fresh checkout not clean: %+v", s)
+		}
+	}
+	// Edit locally, status flips, commit lands.
+	f.writeLocal("src/main.c", "int main(){return 1;}\n")
+	st, _ = f.ws.Status()
+	var found bool
+	for _, s := range st {
+		if s.Path == "src/main.c" {
+			found = true
+			if !s.Modified || s.OutOfDate {
+				t.Fatalf("status after edit: %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("edited file not in status")
+	}
+	results, err := f.ws.Commit("tweak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Rev != 2 {
+		t.Fatalf("commit results: %+v", results)
+	}
+	// Clean again, and the repo agrees.
+	st, _ = f.ws.Status()
+	for _, s := range st {
+		if s.Modified || s.OutOfDate {
+			t.Fatalf("post-commit status: %+v", s)
+		}
+	}
+	got, err := f.other.Checkout("src/main.c")
+	if err != nil || string(got["src/main.c"]) != "int main(){return 1;}\n" {
+		t.Fatalf("other user sees: %q %v", got["src/main.c"], err)
+	}
+}
+
+func TestCommitNothingModified(t *testing.T) {
+	f := newFixture(t)
+	f.commitOther("f", "x\n")
+	if err := f.ws.Checkout("f"); err != nil {
+		t.Fatal(err)
+	}
+	results, err := f.ws.Commit("noop")
+	if err != nil || results != nil {
+		t.Fatalf("empty commit: %+v %v", results, err)
+	}
+}
+
+func TestUpdateRefreshAndMerge(t *testing.T) {
+	f := newFixture(t)
+	f.commitOther("clean.txt", "v1\n")
+	f.commitOther("edited.txt", "top\nmiddle\nbottom\n")
+	if err := f.ws.CheckoutAll(""); err != nil {
+		t.Fatal(err)
+	}
+	// Local edit to edited.txt (bottom); upstream edits both files
+	// (clean.txt wholly, edited.txt's top).
+	f.writeLocal("edited.txt", "top\nmiddle\nBOTTOM-local\n")
+	f.commitOther("clean.txt", "v2\n")
+	f.commitOther("edited.txt", "TOP-upstream\nmiddle\nbottom\n")
+
+	reports, err := f.ws.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]UpdateReport{}
+	for _, r := range reports {
+		byPath[r.Path] = r
+	}
+	if byPath["clean.txt"].Action != "refreshed" {
+		t.Fatalf("clean.txt: %+v", byPath["clean.txt"])
+	}
+	if f.readLocal("clean.txt") != "v2\n" {
+		t.Fatalf("clean.txt content: %q", f.readLocal("clean.txt"))
+	}
+	if byPath["edited.txt"].Action != "merged" {
+		t.Fatalf("edited.txt: %+v", byPath["edited.txt"])
+	}
+	if got := f.readLocal("edited.txt"); got != "TOP-upstream\nmiddle\nBOTTOM-local\n" {
+		t.Fatalf("merged content: %q", got)
+	}
+	// The merged file commits cleanly against the new base.
+	results, err := f.ws.Commit("merge result")
+	if err != nil || len(results) != 1 || results[0].Conflict {
+		t.Fatalf("commit after update: %+v %v", results, err)
+	}
+}
+
+func TestUpdateConflictBlocksCommit(t *testing.T) {
+	f := newFixture(t)
+	f.commitOther("f", "line\n")
+	if err := f.ws.Checkout("f"); err != nil {
+		t.Fatal(err)
+	}
+	f.writeLocal("f", "local\n")
+	f.commitOther("f", "upstream\n")
+
+	reports, err := f.ws.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Action != "conflict" || reports[0].Conflicts != 1 {
+		t.Fatalf("update: %+v", reports[0])
+	}
+	// Commit refuses the marker-laden file.
+	if _, err := f.ws.Commit("oops"); !errors.Is(err, ErrConflictMarkers) {
+		t.Fatalf("commit with markers: %v", err)
+	}
+	// Resolve, then commit succeeds.
+	f.writeLocal("f", "resolved\n")
+	results, err := f.ws.Commit("resolved")
+	if err != nil || results[0].Rev != 3 {
+		t.Fatalf("resolved commit: %+v %v", results, err)
+	}
+}
+
+func TestAddNewFile(t *testing.T) {
+	f := newFixture(t)
+	f.writeLocal("new.txt", "brand new\n")
+	if err := f.ws.Add("new.txt"); err != nil {
+		t.Fatal(err)
+	}
+	results, err := f.ws.Commit("add file")
+	if err != nil || len(results) != 1 || results[0].Rev != 1 {
+		t.Fatalf("add commit: %+v %v", results, err)
+	}
+	got, err := f.other.Checkout("new.txt")
+	if err != nil || string(got["new.txt"]) != "brand new\n" {
+		t.Fatalf("other sees: %q %v", got["new.txt"], err)
+	}
+}
+
+func TestAddMissingFile(t *testing.T) {
+	f := newFixture(t)
+	if err := f.ws.Add("ghost.txt"); err == nil {
+		t.Fatal("Add of a missing local file must fail")
+	}
+}
+
+func TestMetadataPersistsAcrossOpen(t *testing.T) {
+	f := newFixture(t)
+	f.commitOther("f", "v1\n")
+	if err := f.ws.Checkout("f"); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen the same directory with the same repo client.
+	ws2, err := Open(f.ws.Dir(), f.ws.repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ws2.Tracked(); len(got) != 1 || got[0] != "f" {
+		t.Fatalf("tracked after reopen: %v", got)
+	}
+	st, err := ws2.Status()
+	if err != nil || st[0].Modified || st[0].OutOfDate {
+		t.Fatalf("status after reopen: %+v %v", st, err)
+	}
+}
+
+func TestUnsafePathsRejected(t *testing.T) {
+	f := newFixture(t)
+	for _, p := range []string{"../escape", "/abs/path", "a/../../b", MetaFile} {
+		if _, err := f.ws.fsPath(p); !errors.Is(err, ErrUnsafePath) {
+			t.Errorf("path %q not rejected: %v", p, err)
+		}
+	}
+	// Benign dot segments inside the tree are fine.
+	if _, err := f.ws.fsPath("a/./b"); err != nil {
+		t.Errorf("benign path rejected: %v", err)
+	}
+}
+
+func TestWorkspaceRemove(t *testing.T) {
+	f := newFixture(t)
+	f.commitOther("f", "v1\n")
+	if err := f.ws.Checkout("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ws.Remove("gone", "f"); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.ws.Tracked()) != 0 {
+		t.Fatalf("still tracked: %v", f.ws.Tracked())
+	}
+	if fp, _ := f.ws.fsPath("f"); fp != "" {
+		if _, err := os.Stat(fp); !errors.Is(err, os.ErrNotExist) {
+			t.Fatal("file still on disk")
+		}
+	}
+	// The repository shows the tombstone; history survives.
+	st, err := f.other.Status("f")
+	if err != nil || !st[0].Dead || st[0].Rev != 2 {
+		t.Fatalf("repo after remove: %+v %v", st, err)
+	}
+	if err := f.ws.Remove("", "untracked"); !errors.Is(err, ErrNotTracked) {
+		t.Fatalf("remove of untracked: %v", err)
+	}
+}
+
+func TestMissingFileStatus(t *testing.T) {
+	f := newFixture(t)
+	f.commitOther("f", "v1\n")
+	if err := f.ws.Checkout("f"); err != nil {
+		t.Fatal(err)
+	}
+	fp, _ := f.ws.fsPath("f")
+	if err := os.Remove(fp); err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.ws.Status()
+	if err != nil || !st[0].Missing {
+		t.Fatalf("missing not reported: %+v %v", st, err)
+	}
+	// Update leaves missing files alone.
+	reports, err := f.ws.Update()
+	if err != nil || reports[0].Action != "unchanged" {
+		t.Fatalf("update with missing file: %+v %v", reports, err)
+	}
+}

@@ -1,0 +1,89 @@
+package trustedcvs_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trustedcvs"
+)
+
+// TestWorkspaceCollaboration runs two users with real working
+// directories through the complete sandbox workflow on one untrusted
+// server: checkout, concurrent edits, update-with-merge, commit.
+func TestWorkspaceCollaboration(t *testing.T) {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{Users: 2, SyncEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	alice := cluster.Repo(0, "alice")
+	bob := cluster.Repo(1, "bob")
+
+	// Alice seeds the repository from her workspace.
+	wsA, err := alice.Workspace(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(wsA.Dir(), "notes.txt"), []byte("alpha\nbeta\ngamma\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := wsA.Add("notes.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wsA.Commit("import"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob checks out into his own workspace and edits the last line.
+	wsB, err := bob.Workspace(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wsB.CheckoutAll(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(wsB.Dir(), "notes.txt"), []byte("alpha\nbeta\nGAMMA-bob\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Meanwhile alice edits the first line and commits first.
+	if err := os.WriteFile(filepath.Join(wsA.Dir(), "notes.txt"), []byte("ALPHA-alice\nbeta\ngamma\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wsA.Commit("alice edit"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob's update merges cleanly; his commit lands on top.
+	reports, err := wsB.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Action != "merged" {
+		t.Fatalf("bob update: %+v", reports)
+	}
+	results, err := wsB.Commit("bob edit")
+	if err != nil || len(results) != 1 || results[0].Rev != 3 {
+		t.Fatalf("bob commit: %+v %v", results, err)
+	}
+
+	// Alice refreshes and sees the combined file.
+	if _, err := wsA.Update(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(wsA.Dir(), "notes.txt"))
+	if err != nil || string(got) != "ALPHA-alice\nbeta\nGAMMA-bob\n" {
+		t.Fatalf("alice's refreshed copy: %q %v", got, err)
+	}
+
+	// History and blame agree with the story — verified end to end.
+	origins, err := alice.Annotate("notes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origins[0].Author != "alice" || origins[2].Author != "bob" || origins[1].Rev != 1 {
+		t.Fatalf("blame: %+v", origins)
+	}
+}

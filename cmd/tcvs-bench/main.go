@@ -1,4 +1,4 @@
-// Command tcvs-bench regenerates the experiment tables E1–E8 (see
+// Command tcvs-bench regenerates the experiment tables E1–E13 (see
 // DESIGN.md §2 for the mapping to the paper's figures, theorems and
 // design claims, and EXPERIMENTS.md for recorded results).
 //
@@ -6,6 +6,7 @@
 //
 //	tcvs-bench            # run everything
 //	tcvs-bench -e E2      # one experiment
+//	tcvs-bench -e E13     # concurrency benchmark; also writes BENCH_E13.json
 package main
 
 import (
@@ -17,7 +18,8 @@ import (
 )
 
 func main() {
-	var e = flag.String("e", "all", "experiment to run: E1..E8 or all")
+	var e = flag.String("e", "all", "experiment to run: E1..E13 or all")
+	var out = flag.String("o", "BENCH_E13.json", "output path for E13's JSON record")
 	flag.Parse()
 
 	if *e == "all" {
@@ -26,9 +28,31 @@ func main() {
 		}
 		return
 	}
+	if *e == "E13" {
+		// E13 runs through RunE13 so the raw data can be recorded
+		// alongside the rendered table.
+		d, err := bench.RunE13(bench.DefaultE13Config())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "E13: %v\n", err)
+			os.Exit(1)
+		}
+		d.Table().Render(os.Stdout)
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "E13: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := d.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "E13: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+		return
+	}
 	run, ok := bench.ByID(*e)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E8 or all)\n", *e)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E13 or all)\n", *e)
 		os.Exit(2)
 	}
 	run().Render(os.Stdout)

@@ -21,7 +21,6 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"trustedcvs/internal/adversary"
@@ -112,23 +111,14 @@ func main() {
 		store = cvs.NewStore()
 	}
 	handler := driver.NewHandler(srv, store)
-	// Persistence and request handling share the protocol server;
-	// serialize them with one mutex (the transport already serializes
-	// requests among themselves).
-	var stateMu sync.Mutex
+	// The saver runs beside live traffic: SaveP2 checkpoints the
+	// protocol state through its own ordered section (an O(1) fork of
+	// the copy-on-write database) and the content store snapshots under
+	// its own lock, so persistence never stalls the pipelined hot path.
 	if *dataFile != "" && p == server.P2 && *behavior == "honest" {
-		inner := handler
-		handler = func(req any) (any, error) {
-			stateMu.Lock()
-			defer stateMu.Unlock()
-			return inner(req)
-		}
 		go func() {
 			for range time.Tick(*saveIvl) {
-				stateMu.Lock()
-				err := saveState(*dataFile, srv, store)
-				stateMu.Unlock()
-				if err != nil {
+				if err := saveState(*dataFile, srv, store); err != nil {
 					log.Printf("persist: %v", err)
 				}
 			}

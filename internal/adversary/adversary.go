@@ -24,6 +24,7 @@ package adversary
 
 import (
 	"fmt"
+	"sync"
 
 	"trustedcvs/internal/core"
 	"trustedcvs/internal/server"
@@ -102,9 +103,16 @@ type Config struct {
 
 // Server wraps an honest protocol server with a malicious behavior.
 // It implements server.Server.
+//
+// Unlike the honest servers it serializes operations completely: the
+// behaviors hinge on exact global operation indices (TriggerOp,
+// DeviatedAtOp), which only mean something under a total order. The
+// adversary is a measurement harness, never a throughput path.
 type Server struct {
 	cfg  Config
 	main server.Server
+
+	mu   sync.Mutex
 	fork server.Server // lazily created fork (Fork, ReplayStale, CounterReplay)
 
 	ops        uint64 // operations seen (global, across both branches)
@@ -127,10 +135,18 @@ func Wrap(honest server.Server, cfg Config) *Server {
 // DeviatedAtOp returns the 1-based global operation index at which the
 // server first deviated from the trusted execution, or 0 if it has
 // behaved so far. Experiments measure detection delay from this point.
-func (s *Server) DeviatedAtOp() uint64 { return s.deviatedAt }
+func (s *Server) DeviatedAtOp() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deviatedAt
+}
 
 // Ops returns the number of operations the server has handled.
-func (s *Server) Ops() uint64 { return s.ops }
+func (s *Server) Ops() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops
+}
 
 func (s *Server) markDeviation() {
 	if s.deviatedAt == 0 {
@@ -163,6 +179,8 @@ func (s *Server) Epoch() uint64 { return s.main.Epoch() }
 
 // AdvanceEpoch implements server.Server. StallEpochs swallows it.
 func (s *Server) AdvanceEpoch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.cfg.Kind == StallEpochs {
 		if s.deviatedAt == 0 {
 			s.deviatedAt = s.ops + 1 // deviation is visible from the next op
@@ -187,6 +205,8 @@ func (s *Server) triggered(op uint64) bool {
 
 // HandleOp implements server.Server with the configured deviation.
 func (s *Server) HandleOp(req *core.OpRequest) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.ops++
 	switch s.cfg.Kind {
 	case Fork:
@@ -272,6 +292,8 @@ func (s *Server) HandleOp(req *core.OpRequest) (any, error) {
 
 // HandleAck implements server.Server.
 func (s *Server) HandleAck(ack *core.AckRequest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	// Route the ack to whichever branch is mid-operation; for the
 	// honest and most adversarial cases that is main. Fork-style
 	// behaviors must ack on the branch that produced the response: we
@@ -286,6 +308,8 @@ func (s *Server) HandleAck(ack *core.AckRequest) error {
 
 // HandleGetBackups implements server.Server.
 func (s *Server) HandleGetBackups(req *core.GetBackupsRequest) (*core.BackupsResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	src := s.main
 	// Under a fork, each user sees its own branch's stored backups.
 	if s.fork != nil && (s.cfg.Kind == Fork && s.cfg.GroupB[req.User] ||

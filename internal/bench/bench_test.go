@@ -158,7 +158,7 @@ func TestRenderAndRegistry(t *testing.T) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("ByID(%s) missing", id)
 		}

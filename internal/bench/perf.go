@@ -213,9 +213,10 @@ func genTrace(users, ops int, seed int64) *workload.Trace {
 
 // All runs every experiment in order: E1–E8 reproduce the paper's
 // exhibits, E9–E11 ablate DESIGN.md's design choices, E12 measures the
-// fault-localization extension.
+// fault-localization extension, E13 measures the pipelined transport
+// under concurrent TCP clients.
 func All() []*Table {
-	return []*Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12()}
+	return []*Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13()}
 }
 
 // ByID returns one experiment's runner.
@@ -224,6 +225,7 @@ func ByID(id string) (func() *Table, bool) {
 		"E1": E1, "E2": E2, "E3": E3, "E4": E4,
 		"E5": E5, "E6": E6, "E7": E7, "E8": E8,
 		"E9": E9, "E10": E10, "E11": E11, "E12": E12,
+		"E13": E13,
 	}
 	f, ok := m[id]
 	return f, ok

@@ -21,6 +21,7 @@ package proto1
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"trustedcvs/internal/core"
 	"trustedcvs/internal/digest"
@@ -53,7 +54,17 @@ func Initialize(s *sig.Signer, initialRoot digest.Digest) InitState {
 }
 
 // Server is the (honest) Protocol I server state machine.
+//
+// Server is safe for concurrent use. The ordered section under mu is
+// minimal — the ack-pending gate, the database transition, and the
+// capture of the presented signed state; VO pruning and answer
+// encoding run after the lock is released. Protocol I remains
+// logically blocking regardless (no new operation is admitted until
+// the previous operation's ack lands), so concurrency here buys
+// pipelining of the crypto, not operation overlap — that is Protocol
+// II's contribution.
 type Server struct {
+	mu       sync.Mutex
 	db       *vdb.DB
 	lastUser sig.UserID
 	lastSig  sig.Signature
@@ -74,6 +85,8 @@ func (s *Server) DB() *vdb.DB { return s.db }
 // now — the primitive behind the Figure 1 partition attack. Honest
 // servers never call this; internal/adversary does.
 func (s *Server) Fork() *Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return &Server{db: s.db.Fork(), lastUser: s.lastUser, lastSig: s.lastSig, ackDue: s.ackDue}
 }
 
@@ -81,27 +94,41 @@ func (s *Server) Fork() *Server {
 // response. The server then blocks (refuses further ops) until
 // HandleAck delivers the user's signature over the new state.
 func (s *Server) HandleOp(req *core.OpRequest) (*core.OpResponseI, error) {
+	// Ordered section: the ack gate, the transition, and the signed
+	// pre-state capture must be one atomic step — the presented
+	// (Signer, Sig) pair certifies exactly this operation's pre-state.
+	s.mu.Lock()
 	if s.ackDue {
+		s.mu.Unlock()
 		return nil, ErrAckPending
 	}
-	preCtr := s.db.Ctr()
-	ans, vo, err := s.db.Apply(req.Op)
+	st, err := s.db.Begin(req.Op)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("proto1: apply: %w", err)
 	}
 	s.ackDue = true
+	signer, lastSig := s.lastUser, s.lastSig
+	s.mu.Unlock()
+
+	ans, vo, err := st.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("proto1: encode: %w", err)
+	}
 	return &core.OpResponseI{
 		Answer: ans,
 		VO:     vo,
-		Ctr:    preCtr,
-		Signer: s.lastUser,
-		Sig:    s.lastSig,
+		Ctr:    st.PreCtr(),
+		Signer: signer,
+		Sig:    lastSig,
 	}, nil
 }
 
 // HandleAck stores the user's signature over the new state; the next
 // operation's response will present it.
 func (s *Server) HandleAck(ack *core.AckRequest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.ackDue {
 		return ErrNoAckDue
 	}

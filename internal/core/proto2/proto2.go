@@ -20,6 +20,7 @@ package proto2
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"trustedcvs/internal/core"
 	"trustedcvs/internal/digest"
@@ -30,7 +31,16 @@ import (
 
 // Server is the (honest) Protocol II server state machine: the
 // database plus the identity of the last user to operate on it.
+//
+// Server is safe for concurrent use. HandleOp is a three-stage
+// pipeline: request decoding happens upstream (per connection, no
+// lock); the ordered section under mu applies the operation, bumps
+// ctr, and swaps the last-user tag — the linearization point every
+// detection argument refers to; VO pruning and answer encoding then
+// run outside the lock on the captured immutable snapshot. See
+// DESIGN.md "Concurrency model".
 type Server struct {
+	mu       sync.Mutex
 	db       *vdb.DB
 	lastUser sig.UserID
 }
@@ -48,12 +58,29 @@ func (s *Server) DB() *vdb.DB { return s.db }
 // now — the primitive behind the Figure 1 partition attack. Honest
 // servers never call this; internal/adversary does.
 func (s *Server) Fork() *Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return &Server{db: s.db.Fork(), lastUser: s.lastUser}
 }
 
 // LastUser returns j, the user whose operation produced the current
 // state (persisted across server restarts).
-func (s *Server) LastUser() sig.UserID { return s.lastUser }
+func (s *Server) LastUser() sig.UserID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastUser
+}
+
+// Checkpoint atomically captures the server's persistent state: an
+// O(1) fork of the database (persistent tree) plus the last-user tag,
+// taken at one point of the operation order. The snapshot walk itself
+// can then run outside the lock, so a live server checkpoints without
+// stalling its pipeline.
+func (s *Server) Checkpoint() (*vdb.DB, sig.UserID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Fork(), s.lastUser
+}
 
 // NewServerAt wraps a restored database, resuming from the given last
 // user.
@@ -64,19 +91,30 @@ func NewServerAt(db *vdb.DB, lastUser sig.UserID) *Server {
 // HandleOp applies the operation and returns (answer, VO, ctr, j).
 // Unlike Protocol I there is nothing to wait for afterwards.
 func (s *Server) HandleOp(req *core.OpRequest) (*core.OpResponseII, error) {
-	preCtr := s.db.Ctr()
-	ans, vo, err := s.db.Apply(req.Op)
+	// Ordered section: apply + ctr bump + last-user swap. The captured
+	// (staged, last) pair fully determines the response.
+	s.mu.Lock()
+	st, err := s.db.Begin(req.Op)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("proto2: apply: %w", err)
 	}
-	resp := &core.OpResponseII{
+	last := s.lastUser
+	s.lastUser = req.User
+	s.mu.Unlock()
+
+	// Post-processing on the immutable snapshot: VO pruning and answer
+	// encoding run concurrently with subsequent operations.
+	ans, vo, err := st.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("proto2: encode: %w", err)
+	}
+	return &core.OpResponseII{
 		Answer: ans,
 		VO:     vo,
-		Ctr:    preCtr,
-		Last:   s.lastUser,
-	}
-	s.lastUser = req.User
-	return resp, nil
+		Ctr:    st.PreCtr(),
+		Last:   last,
+	}, nil
 }
 
 // User is the Protocol II user state machine: the registers (σᵢ,

@@ -17,8 +17,25 @@ type ServerState struct {
 	Backups  []*core.EpochBackup
 }
 
-// State captures the server's protocol state for persistence.
+// State captures the server's protocol state for persistence. It is
+// atomic with respect to concurrent operations.
 func (s *Server) State() ServerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stateLocked()
+}
+
+// Checkpoint atomically captures the database (as an O(1) fork of the
+// persistent tree) together with the protocol state, so a live server
+// can persist a consistent image without stalling its pipeline: the
+// expensive snapshot walk happens on the fork, outside the lock.
+func (s *Server) Checkpoint() (*vdb.DB, ServerState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Fork(), s.stateLocked()
+}
+
+func (s *Server) stateLocked() ServerState {
 	st := ServerState{LastUser: s.lastUser, Epoch: s.epoch}
 	epochs := make([]uint64, 0, len(s.backups))
 	for e := range s.backups {

@@ -17,6 +17,7 @@ package proto3
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"trustedcvs/internal/core"
 	"trustedcvs/internal/digest"
@@ -26,7 +27,15 @@ import (
 
 // Server is the (honest) Protocol III server state machine: Protocol
 // II's, plus the epoch counter and the stored epoch backups.
+//
+// Server is safe for concurrent use: the ordered section under mu
+// covers backup storage, the database transition, and the
+// (last-user, epoch) capture; VO pruning and answer encoding run
+// outside it. The epoch ticker (AdvanceEpoch runs from a timer
+// goroutine in the live server) shares the same mutex, which is what
+// makes an operation observe one consistent epoch.
 type Server struct {
+	mu       sync.Mutex
 	db       *vdb.DB
 	lastUser sig.UserID
 	epoch    uint64
@@ -49,6 +58,8 @@ func (s *Server) DB() *vdb.DB { return s.db }
 // now — the primitive behind the Figure 1 partition attack. Stored
 // backups are shared by copy (they are immutable once stored).
 func (s *Server) Fork() *Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	f := &Server{
 		db:       s.db.Fork(),
 		lastUser: s.lastUser,
@@ -66,32 +77,51 @@ func (s *Server) Fork() *Server {
 }
 
 // Epoch returns the server's current epoch.
-func (s *Server) Epoch() uint64 { return s.epoch }
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
 
 // AdvanceEpoch moves the server into the next epoch. The driver calls
 // it every t time units (sim: every epochLen rounds; live: a timer).
-func (s *Server) AdvanceEpoch() { s.epoch++ }
+func (s *Server) AdvanceEpoch() {
+	s.mu.Lock()
+	s.epoch++
+	s.mu.Unlock()
+}
 
 // HandleOp applies the operation, stores any piggybacked epoch backup,
 // and returns (answer, VO, ctr, j, epoch).
 func (s *Server) HandleOp(req *core.OpRequest) (*core.OpResponseII, error) {
+	// Ordered section: backup storage rides on the operation's position
+	// in the order (the paper's "second operation of a new epoch"
+	// upload), and (last, epoch) must be captured atomically with the
+	// transition.
+	s.mu.Lock()
 	if req.Backup != nil {
 		s.storeBackup(req.Backup)
 	}
-	preCtr := s.db.Ctr()
-	ans, vo, err := s.db.Apply(req.Op)
+	st, err := s.db.Begin(req.Op)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("proto3: apply: %w", err)
 	}
-	resp := &core.OpResponseII{
+	last, epoch := s.lastUser, s.epoch
+	s.lastUser = req.User
+	s.mu.Unlock()
+
+	ans, vo, err := st.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("proto3: encode: %w", err)
+	}
+	return &core.OpResponseII{
 		Answer: ans,
 		VO:     vo,
-		Ctr:    preCtr,
-		Last:   s.lastUser,
-		Epoch:  s.epoch,
-	}
-	s.lastUser = req.User
-	return resp, nil
+		Ctr:    st.PreCtr(),
+		Last:   last,
+		Epoch:  epoch,
+	}, nil
 }
 
 func (s *Server) storeBackup(b *core.EpochBackup) {
@@ -104,8 +134,11 @@ func (s *Server) storeBackup(b *core.EpochBackup) {
 }
 
 // HandleGetBackups returns the stored backups for one epoch, in user
-// order.
+// order. Stored backups are immutable, so sharing the pointers with
+// the response is safe.
 func (s *Server) HandleGetBackups(req *core.GetBackupsRequest) *core.BackupsResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m := s.backups[req.Epoch]
 	resp := &core.BackupsResponse{Epoch: req.Epoch}
 	ids := make([]sig.UserID, 0, len(m))

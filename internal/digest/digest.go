@@ -16,6 +16,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash"
+	"sync"
 )
 
 // Size is the byte length of a Digest.
@@ -55,6 +56,21 @@ var Zero Digest
 // IsZero reports whether d is the zero digest.
 func (d Digest) IsZero() bool { return d == Zero }
 
+// GobEncode encodes the digest as one opaque byte string. Without it,
+// gob walks the [32]byte element by element through reflection — ~32
+// reflect calls per digest on both encode and decode — which dominated
+// the wire codec's CPU profile (digests are the bulk of every VO).
+func (d Digest) GobEncode() ([]byte, error) { return d[:], nil }
+
+// GobDecode decodes a digest encoded by GobEncode.
+func (d *Digest) GobDecode(b []byte) error {
+	if len(b) != Size {
+		return fmt.Errorf("digest: decode: %d bytes, want %d", len(b), Size)
+	}
+	copy(d[:], b)
+	return nil
+}
+
 // Xor returns d ⊕ o. XOR of digests is the commutative group operation
 // underlying the σ registers of Protocols II and III: states seen an
 // even number of times cancel out.
@@ -89,49 +105,73 @@ func Parse(s string) (Digest, error) {
 // A Hasher incrementally builds a domain-separated digest. It
 // length-prefixes every variable-length field so concatenation
 // ambiguities cannot produce collisions.
+//
+// Hashers are recycled through an internal pool: Sum returns the
+// Hasher to the pool, so a Hasher must not be used after Sum. Every
+// write goes through the scratch buffer because a stack array passed
+// to the hash.Hash interface escapes to the heap — with digests
+// computed on every copy-on-write tree update, those per-write
+// allocations dominated the server's allocation profile.
 type Hasher struct {
-	inner hash.Hash
+	inner   hash.Hash
+	scratch [64]byte
+}
+
+var hasherPool = sync.Pool{
+	New: func() any { return &Hasher{inner: sha256.New()} },
 }
 
 // NewHasher returns a Hasher whose first hashed byte is the domain tag.
 func NewHasher(domain byte) *Hasher {
-	h := &Hasher{inner: sha256.New()}
-	h.inner.Write([]byte{domain})
+	h := hasherPool.Get().(*Hasher)
+	h.inner.Reset()
+	h.scratch[0] = domain
+	h.inner.Write(h.scratch[:1])
 	return h
 }
 
 // Bytes hashes a length-prefixed byte string.
 func (h *Hasher) Bytes(b []byte) *Hasher {
-	var n [8]byte
-	binary.BigEndian.PutUint64(n[:], uint64(len(b)))
-	h.inner.Write(n[:])
+	binary.BigEndian.PutUint64(h.scratch[:8], uint64(len(b)))
+	h.inner.Write(h.scratch[:8])
 	h.inner.Write(b)
 	return h
 }
 
-// String hashes a length-prefixed string.
+// String hashes a length-prefixed string without converting it to a
+// []byte (which would allocate); it is chunked through the scratch
+// buffer instead.
 func (h *Hasher) String(s string) *Hasher {
-	return h.Bytes([]byte(s))
+	binary.BigEndian.PutUint64(h.scratch[:8], uint64(len(s)))
+	h.inner.Write(h.scratch[:8])
+	for len(s) > 0 {
+		n := copy(h.scratch[:], s)
+		h.inner.Write(h.scratch[:n])
+		s = s[n:]
+	}
+	return h
 }
 
 // Uint64 hashes a fixed-width big-endian uint64.
 func (h *Hasher) Uint64(v uint64) *Hasher {
-	var n [8]byte
-	binary.BigEndian.PutUint64(n[:], v)
-	h.inner.Write(n[:])
+	binary.BigEndian.PutUint64(h.scratch[:8], v)
+	h.inner.Write(h.scratch[:8])
 	return h
 }
 
 // Digest hashes another digest (fixed width, no length prefix needed).
 func (h *Hasher) Digest(d Digest) *Hasher {
-	h.inner.Write(d[:])
+	copy(h.scratch[:Size], d[:])
+	h.inner.Write(h.scratch[:Size])
 	return h
 }
 
-// Sum finalizes and returns the digest.
+// Sum finalizes and returns the digest. It recycles the Hasher, which
+// must not be used afterwards.
 func (h *Hasher) Sum() Digest {
 	var d Digest
-	copy(d[:], h.inner.Sum(nil))
+	copy(d[:], h.inner.Sum(h.scratch[:0]))
+	hasherPool.Put(h)
 	return d
 }
 

@@ -12,7 +12,10 @@ import (
 // NewHandler builds the server-side request router: protocol messages
 // go to the protocol server (honest or adversarial — anything
 // implementing server.Server), content messages to the content store.
-// Transports serialize invocations, so no locking is needed here.
+// The handler is invoked concurrently by the pipelined transport; it
+// needs no locking of its own because both targets synchronize
+// internally (the protocol servers around their ordered sections, the
+// content store around its archive).
 func NewHandler(srv server.Server, store *cvs.Store) transport.Handler {
 	return func(req any) (any, error) {
 		switch r := req.(type) {

@@ -1,0 +1,58 @@
+package merkle
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDigestMemoizedAcrossOps pins the memoization property the
+// pipelined server relies on: after one full root computation, a
+// single-key update only rehashes the root-to-leaf path it rewrote —
+// every unchanged subtree serves its digest from the cache.
+func TestDigestMemoizedAcrossOps(t *testing.T) {
+	tr := New(0)
+	const n = 4096
+	for i := 0; i < n; i++ {
+		tr = tr.Put(fmt.Sprintf("key-%06d", i), []byte("v"))
+	}
+	tr.RootDigest() // warm every node's cache
+	warm := hashCount.Load()
+
+	for i := 0; i < 10; i++ {
+		tr = tr.Put(fmt.Sprintf("key-%06d", i*37), []byte("new"))
+		tr.RootDigest()
+	}
+	rehashed := hashCount.Load() - warm
+
+	// Each update rewrites one root-to-leaf path: depth is ~log_m(n)
+	// (4 levels here, order 8); allow slack for splits. 4096 records
+	// span >500 nodes, so memoization failure would blow way past this.
+	const maxPerOp = 12
+	if rehashed > 10*maxPerOp {
+		t.Fatalf("10 single-key updates rehashed %d nodes; memoization across ops is broken", rehashed)
+	}
+
+	// Cached digests must also be safe to read concurrently while
+	// sibling goroutines force computation on shared cold nodes (the
+	// post-lock VO build does exactly this). Run with -race.
+	cold := tr
+	for i := 0; i < 32; i++ {
+		cold = cold.Put(fmt.Sprintf("key-%06d", i*101), []byte("cold"))
+	}
+	var wg sync.WaitGroup
+	got := make([]string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = cold.RootDigest().Short() // races to fill the cold caches
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		if got[g] != got[0] {
+			t.Fatalf("concurrent root digest mismatch: %s vs %s", got[g], got[0])
+		}
+	}
+}

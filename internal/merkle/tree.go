@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"trustedcvs/internal/digest"
 )
@@ -52,11 +53,23 @@ type Tree struct {
 type node struct {
 	pruned bool
 	leaf   bool
-	dig    digest.Digest // cached digest; Zero means "not yet computed"
+	dig    atomic.Pointer[digest.Digest] // memoized digest; nil means "not yet computed"
 	keys   []string
 	vals   [][]byte // leaf nodes: vals[i] is the value for keys[i]
 	kids   []*node  // internal nodes: len(kids) == len(keys)+1
 }
+
+// withDigest builds a node whose digest is already known (pruned VO
+// placeholders).
+func withDigest(n *node, d digest.Digest) *node {
+	n.dig.Store(&d)
+	return n
+}
+
+// hashCount counts node digest computations, for tests that pin the
+// memoization property (unchanged subtrees are never rehashed across
+// operations).
+var hashCount atomic.Uint64
 
 // New returns an empty tree with the given branching factor (maximum
 // keys per node). order == 0 selects DefaultOrder. New panics on an
@@ -88,16 +101,22 @@ func (t *Tree) minKeys() int { return t.order / 2 }
 // contents. The empty tree has the fixed digest digest.Empty().
 func (t *Tree) RootDigest() digest.Digest { return t.root.digest() }
 
-// digest computes (and caches) a node's digest. Immutability makes the
-// lazy cache sound: a node's digest never changes after the node is
-// linked into a tree.
+// digest computes (and memoizes) a node's digest. Immutability makes
+// the lazy cache sound: a node's digest never changes after the node is
+// linked into a tree, so unchanged subtrees are never rehashed across
+// operations. The cache is an atomic pointer because digests are
+// computed outside the server's ordered section (the pipelined VO build
+// runs concurrently on structurally shared persistent trees): racing
+// computations are idempotent — both store the same value — and the
+// atomic store keeps the publication race-free.
 func (n *node) digest() digest.Digest {
 	if n == nil {
 		return digest.Empty()
 	}
-	if !n.dig.IsZero() {
-		return n.dig
+	if d := n.dig.Load(); d != nil {
+		return *d
 	}
+	hashCount.Add(1)
 	var h *digest.Hasher
 	if n.leaf {
 		h = digest.NewHasher(digest.DomainLeaf)
@@ -116,8 +135,9 @@ func (n *node) digest() digest.Digest {
 			h.Digest(c.digest())
 		}
 	}
-	n.dig = h.Sum()
-	return n.dig
+	d := h.Sum()
+	n.dig.Store(&d)
+	return d
 }
 
 // ctx carries per-operation state: the branching factor and, when a

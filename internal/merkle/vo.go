@@ -87,12 +87,12 @@ func pruneNode(n *node, keep map[*node]struct{}) *VONode {
 	if _, ok := keep[n]; !ok {
 		return &VONode{Pruned: true, Digest: n.digest()}
 	}
-	vn := &VONode{Leaf: n.leaf, Keys: append([]string(nil), n.keys...)}
+	// Tree nodes are copy-on-write: once published they are never
+	// mutated, so the VO can alias their keys/vals slices directly. The
+	// VO is encoded to the wire and discarded, never written through.
+	vn := &VONode{Leaf: n.leaf, Keys: n.keys}
 	if n.leaf {
-		vn.Vals = make([][]byte, len(n.vals))
-		for i, v := range n.vals {
-			vn.Vals[i] = append([]byte(nil), v...)
-		}
+		vn.Vals = n.vals
 		return vn
 	}
 	vn.Kids = make([]*VONode, len(n.kids))
@@ -146,7 +146,7 @@ func buildNode(vn *VONode, order int) (*node, error) {
 		if len(vn.Keys) > 0 || len(vn.Vals) > 0 || len(vn.Kids) > 0 {
 			return nil, fmt.Errorf("%w: pruned node with content", ErrMalformedVO)
 		}
-		return &node{pruned: true, dig: vn.Digest}, nil
+		return withDigest(&node{pruned: true}, vn.Digest), nil
 	}
 	if !sort.StringsAreSorted(vn.Keys) {
 		return nil, fmt.Errorf("%w: unsorted keys", ErrMalformedVO)

@@ -165,6 +165,11 @@ func TestVORejectsTamperedValue(t *testing.T) {
 	// A server that tampers with a value inside the VO must be caught
 	// by the old-root check.
 	tr := buildTree(t, 4, 50)
+	// Pin the published root before tampering: the VO aliases the live
+	// tree's slices (it is normally serialized to the wire untouched),
+	// so an in-place tamper below would otherwise leak into a root
+	// digest computed afterwards.
+	want := tr.RootDigest()
 	rec := tr.Record()
 	_, _, _ = rec.Get(key(1))
 	vo := rec.VO()
@@ -191,7 +196,7 @@ func TestVORejectsTamperedValue(t *testing.T) {
 	if !tamper(vo.Root) {
 		t.Fatal("test bug: found nothing to tamper with")
 	}
-	if _, err := vo.Replay(tr.RootDigest(), func(pt *Tree) (*Tree, error) { return pt, nil }); !errors.Is(err, ErrRootMismatch) {
+	if _, err := vo.Replay(want, func(pt *Tree) (*Tree, error) { return pt, nil }); !errors.Is(err, ErrRootMismatch) {
 		t.Fatalf("want ErrRootMismatch after tamper, got %v", err)
 	}
 }

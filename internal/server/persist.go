@@ -34,9 +34,13 @@ func SaveP2(w io.Writer, srv Server, store *cvs.Store) error {
 	if err != nil {
 		return err
 	}
+	// Checkpoint captures (db, lastUser) at one point of the operation
+	// order; the snapshot walk runs on the O(1) fork so a live,
+	// pipelined server keeps serving while its state is written out.
+	dbAt, lastUser := p2srv.inner.Checkpoint()
 	snap := &P2Snapshot{
-		DB:       p2srv.inner.DB().Snapshot(),
-		LastUser: p2srv.inner.LastUser(),
+		DB:       dbAt.Snapshot(),
+		LastUser: lastUser,
 		Store:    storeSnap,
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
@@ -81,9 +85,10 @@ func SaveP3(w io.Writer, srv Server, store *cvs.Store) error {
 	if err != nil {
 		return err
 	}
+	dbAt, state := p3srv.inner.Checkpoint()
 	snap := &P3Snapshot{
-		DB:    p3srv.inner.DB().Snapshot(),
-		State: p3srv.inner.State(),
+		DB:    dbAt.Snapshot(),
+		State: state,
 		Store: storeSnap,
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {

@@ -60,6 +60,11 @@ var ErrUnsupported = errors.New("server: message not supported by this protocol"
 // Server is the protocol-agnostic server surface. HandleOp returns
 // *core.OpResponseI under Protocol I and *core.OpResponseII under
 // Protocols II/III.
+//
+// Implementations are safe for concurrent use: the honest servers
+// pipeline HandleOp (narrow ordered section, post-lock VO/encoding —
+// see DESIGN.md "Concurrency model"), so transports may invoke them
+// from many connections at once.
 type Server interface {
 	Protocol() Protocol
 	HandleOp(req *core.OpRequest) (any, error)

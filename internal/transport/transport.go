@@ -1,7 +1,7 @@
-// Package transport provides the client/server plumbing: a TCP server
-// that serializes requests into a protocol handler, a TCP dialer, and
-// an in-process transport with the same interface for tests, examples
-// and benchmarks.
+// Package transport provides the client/server plumbing: a pipelined
+// TCP server feeding requests into a protocol handler, a TCP dialer,
+// and an in-process transport with the same interface for tests,
+// examples and benchmarks.
 package transport
 
 import (
@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"trustedcvs/internal/wire"
 )
@@ -19,10 +20,37 @@ type Caller interface {
 	Close() error
 }
 
-// Handler processes one request. Handlers are invoked serially by
-// every transport in this package (the protocol state machines are
-// sequential objects, matching the paper's serial server).
+// Handler processes one request. Transports invoke handlers
+// concurrently (one goroutine per connection, bounded by
+// Options.MaxConcurrent); the protocol servers synchronize internally
+// around their ordered sections, so the transport imposes no global
+// lock of its own. Options.Serial restores the seed's one-big-lock
+// behavior for baseline measurements.
 type Handler func(req any) (any, error)
+
+// Options tunes a Server. The zero value is the production
+// configuration: pipelined handler, streaming codec, default
+// concurrency bound.
+type Options struct {
+	// Serial wraps every handler invocation in one global mutex,
+	// reproducing the seed transport's fully serialized hot path. Used
+	// by E13 as its baseline and by tests that need determinism.
+	Serial bool
+	// CompatCodec serves the seed's self-contained per-message codec
+	// instead of the streaming codec. Clients must dial with
+	// DialCompat. Used by E13's seed-compat baseline.
+	CompatCodec bool
+	// MaxConcurrent bounds in-flight handler invocations across all
+	// connections (0 = DefaultMaxConcurrent). Decode and encode happen
+	// on the connection goroutines outside this bound; the bound keeps
+	// a flood of connections from piling up in the protocol servers'
+	// ordered sections.
+	MaxConcurrent int
+}
+
+// DefaultMaxConcurrent is the handler concurrency bound when
+// Options.MaxConcurrent is zero.
+const DefaultMaxConcurrent = 64
 
 // Inproc is an in-process Caller invoking a handler directly.
 type Inproc struct {
@@ -34,11 +62,13 @@ type Inproc struct {
 // NewInproc wraps a handler.
 func NewInproc(h Handler) *Inproc { return &Inproc{handler: h} }
 
-// Call implements Caller.
+// Call implements Caller. Calls run concurrently, like the TCP
+// transport; only the closed check is locked.
 func (c *Inproc) Call(req any) (any, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
 		return nil, errors.New("transport: closed")
 	}
 	return c.handler(req)
@@ -52,24 +82,47 @@ func (c *Inproc) Close() error {
 	return nil
 }
 
-// Server accepts TCP connections and feeds every request through one
-// serialized handler.
+// Server accepts TCP connections and feeds requests through the
+// handler, one serving goroutine per connection with a bounded number
+// of concurrent handler invocations.
 type Server struct {
 	lis     net.Listener
 	handler Handler
+	opts    Options
+	sem     chan struct{} // bounds in-flight handler calls
 
-	mu     sync.Mutex // serializes handler invocations across conns
+	serialMu sync.Mutex // only taken when opts.Serial
+
+	mu     sync.Mutex // guards conns
+	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
 
-// Listen starts a server on addr ("127.0.0.1:0" picks a free port).
+// Listen starts a server on addr ("127.0.0.1:0" picks a free port)
+// with default Options.
 func Listen(addr string, h Handler) (*Server, error) {
+	return ListenOpts(addr, h, Options{})
+}
+
+// ListenOpts starts a server with explicit Options.
+func ListenOpts(addr string, h Handler, opts Options) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &Server{lis: lis, handler: h, closed: make(chan struct{})}
+	max := opts.MaxConcurrent
+	if max <= 0 {
+		max = DefaultMaxConcurrent
+	}
+	s := &Server{
+		lis:     lis,
+		handler: h,
+		opts:    opts,
+		sem:     make(chan struct{}, max),
+		conns:   make(map[net.Conn]struct{}),
+		closed:  make(chan struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -80,6 +133,11 @@ func (s *Server) Addr() string { return s.lis.Addr().String() }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	// Transient Accept errors (EMFILE, ECONNABORTED) back off
+	// exponentially instead of busy-spinning the accept loop; any
+	// successful accept resets the delay.
+	const minDelay, maxDelay = 5 * time.Millisecond, 1 * time.Second
+	delay := time.Duration(0)
 	for {
 		conn, err := s.lis.Accept()
 		if err != nil {
@@ -87,37 +145,107 @@ func (s *Server) acceptLoop() {
 			case <-s.closed:
 				return
 			default:
-				// Accept errors on a live listener are rare and
-				// transient; a closed listener exits above.
-				continue
 			}
+			if delay == 0 {
+				delay = minDelay
+			} else if delay *= 2; delay > maxDelay {
+				delay = maxDelay
+			}
+			timer := time.NewTimer(delay)
+			select {
+			case <-s.closed:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			continue
+		}
+		delay = 0
+		if !s.track(conn) {
+			conn.Close() // lost the race with Close
+			continue
 		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
-			_ = wire.Serve(conn, func(req any) (any, error) {
-				s.mu.Lock()
-				defer s.mu.Unlock()
-				return s.handler(req)
-			})
+			defer s.untrack(conn)
+			serve := wire.Serve
+			if s.opts.CompatCodec {
+				serve = wire.ServeLegacy
+			}
+			_ = serve(conn, s.dispatch)
 		}()
 	}
 }
 
-// Close stops accepting and waits for in-flight connections to finish
-// their current request. Open client connections are severed.
+// dispatch runs one request through the handler under the concurrency
+// bound (and, in Serial mode, the global baseline lock).
+func (s *Server) dispatch(req any) (any, error) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	if s.opts.Serial {
+		s.serialMu.Lock()
+		defer s.serialMu.Unlock()
+	}
+	return s.handler(req)
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// Close stops accepting, severs open client connections, and waits for
+// the serving goroutines (including any in-flight handler call) to
+// drain before returning.
 func (s *Server) Close() error {
+	s.mu.Lock()
+	select {
+	case <-s.closed:
+		s.mu.Unlock()
+		return nil
+	default:
+	}
 	close(s.closed)
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
 	err := s.lis.Close()
+	s.wg.Wait()
 	return err
 }
 
-// Dial connects to a transport server.
+// Dial connects to a transport server using the streaming codec (the
+// server default).
 func Dial(addr string) (Caller, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	return wire.NewConn(conn), nil
+}
+
+// DialCompat connects using the seed's self-contained per-message
+// codec, for servers started with Options.CompatCodec.
+func DialCompat(addr string) (Caller, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return wire.NewLegacyConn(conn), nil
 }

@@ -1,0 +1,113 @@
+package vdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestBeginFinishMatchesApply pins the pipelined path to the
+// sequential one: for the same operation sequence, Begin+Finish must
+// produce byte-identical answers, verifiable VOs, and the same final
+// root as Apply.
+func TestBeginFinishMatchesApply(t *testing.T) {
+	seq := New(0)
+	pip := New(0)
+	for i := 0; i < 50; i++ {
+		op := &WriteOp{Puts: []KV{{Key: fmt.Sprintf("k%03d", i%17), Val: []byte(fmt.Sprintf("v%d", i))}}}
+
+		wantRoot := seq.Root()
+		wantAns, wantVO, err := seq.Apply(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		gotRoot := pip.Root()
+		st, err := pip.Begin(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAns, gotVO, err := st.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if string(wantAns) != string(gotAns) {
+			t.Fatalf("op %d: answers differ", i)
+		}
+		if st.PreCtr() != uint64(i) {
+			t.Fatalf("op %d: preCtr %d", i, st.PreCtr())
+		}
+		old, nw, err := VerifyDerive(op, gotAns, gotVO)
+		if err != nil {
+			t.Fatalf("op %d: staged VO does not verify: %v", i, err)
+		}
+		if old != gotRoot || nw != pip.Root() {
+			t.Fatalf("op %d: staged VO derives wrong roots", i)
+		}
+		wold, wnew, err := VerifyDerive(op, wantAns, wantVO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wold != wantRoot || wnew != seq.Root() || wnew != nw {
+			t.Fatalf("op %d: sequential/pipelined roots diverge", i)
+		}
+	}
+	if seq.Ctr() != pip.Ctr() || seq.Root() != pip.Root() {
+		t.Fatal("final states diverge")
+	}
+}
+
+// TestFinishConcurrentWithBegin runs Finish for earlier operations
+// while later Begins mutate the database — the exact overlap the
+// pipelined server creates. Every staged VO must still verify against
+// the root that was current when its Begin ran. Run under -race.
+func TestFinishConcurrentWithBegin(t *testing.T) {
+	db := New(0)
+	for i := 0; i < 500; i++ {
+		op := &WriteOp{Puts: []KV{{Key: fmt.Sprintf("seed%04d", i), Val: []byte("x")}}}
+		if err := db.Preload(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type staged struct {
+		op   Op
+		pre  [32]byte
+		st   *Staged
+	}
+	const ops = 200
+	pending := make(chan staged, ops)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // verifier goroutine: finishes and verifies concurrently
+		defer wg.Done()
+		for s := range pending {
+			ans, vo, err := s.st.Finish()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			old, _, err := VerifyDerive(s.op, ans, vo)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if old != s.pre {
+				t.Errorf("ctr %d: VO pre-root drifted", s.st.PreCtr())
+				return
+			}
+		}
+	}()
+	for i := 0; i < ops; i++ {
+		pre := db.Root()
+		op := &WriteOp{Puts: []KV{{Key: fmt.Sprintf("seed%04d", (i*31)%500), Val: []byte(fmt.Sprintf("u%d", i))}}}
+		st, err := db.Begin(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending <- staged{op: op, pre: pre, st: st}
+	}
+	close(pending)
+	wg.Wait()
+}

@@ -19,6 +19,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sync"
 
 	"trustedcvs/internal/digest"
 	"trustedcvs/internal/merkle"
@@ -135,7 +136,15 @@ func canonicalAnswer(b []byte) ([]byte, error) {
 // DB is the server-side authenticated database: the Merkle tree plus
 // the operation counter ctr from Protocol I ("the count of the number
 // of operations performed on the database").
+//
+// DB is safe for concurrent use. Mutations linearize on an internal
+// mutex whose critical section is deliberately tiny — apply the
+// operation to the persistent tree and bump ctr — so that the
+// cryptographic heavy lifting (VO pruning, answer encoding) can run
+// outside it via Begin/Finish. Readers (Ctr, Root, Fork, Snapshot) see
+// a consistent (tree, ctr) pair.
 type DB struct {
+	mu   sync.Mutex
 	tree *merkle.Tree
 	ctr  uint64
 }
@@ -147,18 +156,39 @@ func New(order int) *DB {
 }
 
 // Ctr returns the number of operations applied so far.
-func (db *DB) Ctr() uint64 { return db.ctr }
+func (db *DB) Ctr() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.ctr
+}
 
 // Root returns the current root digest M(D).
-func (db *DB) Root() digest.Digest { return db.tree.RootDigest() }
+func (db *DB) Root() digest.Digest {
+	db.mu.Lock()
+	t := db.tree
+	db.mu.Unlock()
+	return t.RootDigest()
+}
 
 // Len returns the number of records.
-func (db *DB) Len() int { return db.tree.Len() }
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tree.Len()
+}
 
 // Apply executes op, increments ctr, and returns the canonical answer
 // encoding plus the verification object for the transition. On error
 // the database is unchanged.
+//
+// Apply performs everything — including answer encoding and VO
+// construction — before publishing the transition, which is the right
+// shape for sequential callers (simulations, tests, the CLI). The
+// pipelined servers use Begin/Finish instead to keep the serialized
+// window minimal.
 func (db *DB) Apply(op Op) (ansBytes []byte, vo *merkle.VO, err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	rec := db.tree.Record()
 	ans, err := op.Apply(&Tx{rec: rec})
 	if err != nil {
@@ -173,11 +203,62 @@ func (db *DB) Apply(op Op) (ansBytes []byte, vo *merkle.VO, err error) {
 	return ansBytes, rec.VO(), nil
 }
 
+// Staged is the committed-but-unencoded result of Begin: the ordered
+// section already applied the operation and advanced ctr; Finish does
+// the remaining work — canonical answer encoding and VO pruning — on
+// the captured immutable snapshot, outside any lock.
+type Staged struct {
+	preCtr uint64
+	rec    *merkle.Recording
+	ans    any
+}
+
+// Begin is the ordered section of the pipelined hot path: it applies op
+// to the persistent tree, bumps ctr, and captures the recording — and
+// nothing else. The returned Staged references only immutable nodes of
+// the persistent tree, so Finish (and any number of other Staged
+// results from earlier or later operations) can run concurrently with
+// subsequent Begins. On error the database is unchanged.
+//
+// Unlike Apply, a failure to encode the answer surfaces in Finish,
+// after the transition is already committed; that only happens for
+// answers that are not gob-encodable, which is a bug in the operation,
+// not a reachable server state.
+func (db *DB) Begin(op Op) (*Staged, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec := db.tree.Record()
+	ans, err := op.Apply(&Tx{rec: rec})
+	if err != nil {
+		return nil, err
+	}
+	st := &Staged{preCtr: db.ctr, rec: rec, ans: ans}
+	db.tree = rec.Tree()
+	db.ctr++
+	return st, nil
+}
+
+// PreCtr returns ctr as of the start of the staged operation — the
+// value the protocols present to the user.
+func (st *Staged) PreCtr() uint64 { return st.preCtr }
+
+// Finish produces the canonical answer encoding and the verification
+// object. It is safe to call concurrently with any database activity.
+func (st *Staged) Finish() (ansBytes []byte, vo *merkle.VO, err error) {
+	ansBytes, err = EncodeAnswer(st.ans)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ansBytes, st.rec.VO(), nil
+}
+
 // Preload applies op without advancing ctr or building a VO. It
 // constructs the initial database state D₀ (which the paper allows to
 // be arbitrary, with M(D₀) common knowledge) before any protocol
 // starts; it must not be called afterwards.
 func (db *DB) Preload(op Op) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	tx := &Tx{tree: db.tree}
 	if _, err := op.Apply(tx); err != nil {
 		return err
@@ -190,6 +271,8 @@ func (db *DB) Preload(op Op) error {
 // trusted-server execution path, used as the performance floor in the
 // workload-preservation experiments (desideratum 3).
 func (db *DB) ApplyPlain(op Op) (ansBytes []byte, err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	tx := &Tx{tree: db.tree}
 	ans, err := op.Apply(tx)
 	if err != nil {
@@ -209,7 +292,12 @@ func (db *DB) ApplyPlain(op Op) (ansBytes []byte, err error) {
 // digest, so a restarted server stays consistent with every client's
 // verified state.
 func (db *DB) Snapshot() *DBSnapshot {
-	return &DBSnapshot{Ctr: db.ctr, Tree: db.tree.Snapshot()}
+	db.mu.Lock()
+	ctr, tree := db.ctr, db.tree
+	db.mu.Unlock()
+	// The structural walk happens outside the lock: tree is persistent,
+	// so the captured version never changes under us.
+	return &DBSnapshot{Ctr: ctr, Tree: tree.Snapshot()}
 }
 
 // DBSnapshot is the persistent form of a DB.
@@ -235,6 +323,8 @@ func RestoreDB(s *DBSnapshot) (*DB, error) {
 // mount the Figure 1 partition attack. Cheap because the tree is
 // persistent.
 func (db *DB) Fork() *DB {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return &DB{tree: db.tree, ctr: db.ctr}
 }
 
@@ -266,12 +356,22 @@ func VerifyDerive(op Op, claimedAns []byte, vo *merkle.VO) (oldRoot, newRoot dig
 	if err != nil {
 		return digest.Zero, digest.Zero, err
 	}
-	claimed, err := canonicalAnswer(claimedAns)
-	if err != nil {
-		return digest.Zero, digest.Zero, fmt.Errorf("%w (undecodable claim: %v)", ErrAnswerMismatch, err)
-	}
-	if !bytes.Equal(got, claimed) {
-		return digest.Zero, digest.Zero, ErrAnswerMismatch
+	// Fast path: when the claimed bytes equal the local encoding of the
+	// replayed answer, the claim trivially decodes to the replayed
+	// answer — no canonicalization needed. This is the common case
+	// (server and verifier encode with the same gob type-ID assignment)
+	// and saves a full decode + re-encode per verified operation.
+	if !bytes.Equal(got, claimedAns) {
+		// Slow path: gob streams from a different process can
+		// legitimately differ byte-wise for equal values; canonicalize
+		// the claim by decode + local re-encode before judging.
+		claimed, err := canonicalAnswer(claimedAns)
+		if err != nil {
+			return digest.Zero, digest.Zero, fmt.Errorf("%w (undecodable claim: %v)", ErrAnswerMismatch, err)
+		}
+		if !bytes.Equal(got, claimed) {
+			return digest.Zero, digest.Zero, ErrAnswerMismatch
+		}
 	}
 	return oldRoot, tx.tree.RootDigest(), nil
 }

@@ -31,6 +31,31 @@ func TestQuickReadNeverPanicsOnGarbage(t *testing.T) {
 	}
 }
 
+// TestQuickStreamingDecodeNeverPanicsOnGarbage: the streaming decoder
+// faces the same untrusted wire as the legacy one.
+func TestQuickStreamingDecodeNeverPanicsOnGarbage(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		b := make([]byte, rng.Intn(512))
+		rng.Read(b)
+		d := NewDecoder(bytes.NewReader(b))
+		for i := 0; i < 4; i++ {
+			if _, err := d.Decode(); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickBitflippedFramesNeverPanic: take real protocol frames, flip
 // random bits, and confirm Read either errors or returns a decodable
 // value — never panics.

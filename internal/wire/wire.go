@@ -1,11 +1,31 @@
 // Package wire implements the framing and codec used on every network
-// connection: length-prefixed, gob-encoded envelopes. Each message is
-// a self-contained gob stream, so readers never depend on connection
-// history, and a hard size limit protects against hostile peers (the
-// server is untrusted, after all).
+// connection: length-prefixed, gob-encoded envelopes with a hard size
+// limit protecting against hostile peers (the server is untrusted,
+// after all).
+//
+// Two codec modes share the same [4-byte big-endian length][gob bytes]
+// frame format:
+//
+//   - Streaming (Encoder/Decoder, the default for Conn and Serve): one
+//     persistent gob stream per connection direction, so type
+//     descriptors cross the wire once per connection instead of once
+//     per message — the dominant per-op codec cost on the hot path.
+//     Each frame is assembled into a reused per-connection buffer and
+//     written header+body in a single syscall.
+//   - Self-contained (Write/Read, the seed codec): every frame is an
+//     independent gob stream. Readers never depend on connection
+//     history, which is what the broadcast fan-out needs (one message,
+//     many unrelated connections) and what E13's seed-compat baseline
+//     measures.
+//
+// The two modes do not interoperate on one connection: a persistent
+// decoder rejects the duplicate type descriptors that self-contained
+// frames resend. Both ends of a connection must agree (see
+// transport.Options).
 package wire
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
@@ -17,7 +37,9 @@ import (
 
 // MaxMessage is the largest accepted frame (16 MiB) — far above any
 // legitimate VO or content blob in this system, far below a memory
-// exhaustion attack.
+// exhaustion attack. The streaming decoder additionally enforces it
+// per decoded message, so a hostile peer cannot smuggle an unbounded
+// gob value across many small frames.
 const MaxMessage = 16 << 20
 
 // ErrTooLarge is returned for frames exceeding MaxMessage.
@@ -37,8 +59,59 @@ func init() {
 	gob.Register(&ErrorReply{})
 }
 
-// Write frames and writes one message.
+// bufPool recycles frame-assembly buffers for the self-contained path
+// (Write, Size), which has no connection to hang state off.
+var bufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// maxPooledBuf caps the capacity of buffers returned to the pool so a
+// single giant content blob does not pin memory forever.
+const maxPooledBuf = 1 << 20
+
+func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBuf {
+		b.Reset()
+		bufPool.Put(b)
+	}
+}
+
+// frame prefixes buf's content (assembled after a 4-byte placeholder)
+// with its length and writes the whole thing with one Write call.
+func frame(w io.Writer, buf *bytes.Buffer) error {
+	body := buf.Len() - 4
+	if body > MaxMessage {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, body)
+	}
+	binary.BigEndian.PutUint32(buf.Bytes()[:4], uint32(body))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
+}
+
+var hdrPlaceholder [4]byte
+
+// Write frames and writes one self-contained message: the frame is a
+// complete gob stream carrying its own type descriptors.
 func Write(w io.Writer, msg any) error {
+	buf := getBuf()
+	defer putBuf(buf)
+	buf.Reset()
+	buf.Write(hdrPlaceholder[:])
+	if err := gob.NewEncoder(buf).Encode(&envelope{Payload: msg}); err != nil {
+		return fmt.Errorf("wire: encode %T: %w", msg, err)
+	}
+	return frame(w, buf)
+}
+
+// writeSeed reproduces the seed codec's write path exactly — fresh
+// buffer, fresh gob stream, header and body written separately (two
+// syscalls) — so E13's baseline measures the seed, not a partially
+// optimized hybrid. Production self-contained writes use Write.
+func writeSeed(w io.Writer, msg any) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&envelope{Payload: msg}); err != nil {
 		return fmt.Errorf("wire: encode %T: %w", msg, err)
@@ -57,7 +130,7 @@ func Write(w io.Writer, msg any) error {
 	return nil
 }
 
-// Read reads one framed message.
+// Read reads one self-contained framed message.
 func Read(r io.Reader) (any, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -78,29 +151,147 @@ func Read(r io.Reader) (any, error) {
 	return env.Payload, nil
 }
 
-// Size returns the encoded frame size of msg — used by experiments
-// that report wire bytes (VO sizes, sync traffic).
+// Size returns the self-contained encoded frame size of msg — used by
+// experiments that report wire bytes (VO sizes, sync traffic). It
+// deliberately measures the seed codec: a per-message figure that does
+// not depend on what else a connection has carried.
 func Size(msg any) (int, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&envelope{Payload: msg}); err != nil {
+	buf := getBuf()
+	defer putBuf(buf)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(&envelope{Payload: msg}); err != nil {
 		return 0, err
 	}
 	return buf.Len() + 4, nil
 }
 
-// Conn is a synchronous request/response client over any stream. It
-// serializes concurrent callers.
-type Conn struct {
-	mu sync.Mutex
-	rw io.ReadWriter
-	c  io.Closer // optional
+// Encoder writes framed messages into one persistent gob stream. Not
+// safe for concurrent use; callers serialize (Conn does, Serve is a
+// single loop).
+type Encoder struct {
+	w      io.Writer
+	buf    bytes.Buffer // reused frame-assembly buffer
+	enc    *gob.Encoder
+	broken error
 }
 
-// NewConn wraps a stream. If rw also implements io.Closer, Close
-// closes it.
+// NewEncoder returns a streaming encoder over w.
+func NewEncoder(w io.Writer) *Encoder {
+	e := &Encoder{w: w}
+	e.enc = gob.NewEncoder(&e.buf)
+	return e
+}
+
+// Encode frames and writes one message, header and body in a single
+// Write call. An encode error poisons the stream (the gob encoder's
+// descriptor bookkeeping may no longer match what reached the peer),
+// so every subsequent Encode fails until the connection is replaced.
+func (e *Encoder) Encode(msg any) error {
+	if e.broken != nil {
+		return e.broken
+	}
+	e.buf.Reset()
+	e.buf.Write(hdrPlaceholder[:])
+	if err := e.enc.Encode(&envelope{Payload: msg}); err != nil {
+		e.broken = fmt.Errorf("wire: stream poisoned by encode of %T: %w", msg, err)
+		return fmt.Errorf("wire: encode %T: %w", msg, err)
+	}
+	if err := frame(e.w, &e.buf); err != nil {
+		e.broken = err
+		return err
+	}
+	if e.buf.Cap() > maxPooledBuf {
+		e.buf = bytes.Buffer{} // drop oversized scratch, keep the stream
+	}
+	return nil
+}
+
+// frameReader feeds a gob.Decoder the concatenated bodies of incoming
+// frames, enforcing MaxMessage per frame (header check) and per decoded
+// message (budget, reset by Decoder.Decode).
+type frameReader struct {
+	r      io.Reader
+	remain int // unread bytes of the current frame
+	budget int // bytes the current Decode may still consume
+}
+
+func (fr *frameReader) Read(p []byte) (int, error) {
+	if fr.remain == 0 {
+		var hdr [4]byte
+		if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+			return 0, err // io.EOF at a frame boundary = clean shutdown
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > MaxMessage {
+			return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+		}
+		fr.remain = int(n)
+	}
+	if fr.budget <= 0 {
+		return 0, fmt.Errorf("%w: message spans frames past limit", ErrTooLarge)
+	}
+	if len(p) > fr.remain {
+		p = p[:fr.remain]
+	}
+	if len(p) > fr.budget {
+		p = p[:fr.budget]
+	}
+	n, err := fr.r.Read(p)
+	fr.remain -= n
+	fr.budget -= n
+	if err == io.EOF && fr.remain > 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+// Decoder reads framed messages from one persistent gob stream. Not
+// safe for concurrent use.
+type Decoder struct {
+	fr  *frameReader
+	dec *gob.Decoder
+}
+
+// NewDecoder returns a streaming decoder over r. The decoder owns the
+// read half of the stream: it buffers beneath the frame layer so a
+// header and its body usually cost one syscall, not two.
+func NewDecoder(r io.Reader) *Decoder {
+	if _, ok := r.(*bufio.Reader); !ok {
+		r = bufio.NewReader(r)
+	}
+	fr := &frameReader{r: r}
+	return &Decoder{fr: fr, dec: gob.NewDecoder(fr)}
+}
+
+// Decode reads the next message. It returns io.EOF when the stream
+// ends cleanly at a frame boundary.
+func (d *Decoder) Decode() (any, error) {
+	d.fr.budget = MaxMessage
+	var env envelope
+	if err := d.dec.Decode(&env); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return env.Payload, nil
+}
+
+// Conn is a synchronous request/response client over any stream,
+// using the streaming codec. It serializes concurrent callers.
+type Conn struct {
+	mu  sync.Mutex
+	enc *Encoder
+	dec *Decoder
+	c   io.Closer // optional
+}
+
+// NewConn wraps a stream with the streaming codec. If rw also
+// implements io.Closer, Close closes it. The peer must serve the same
+// codec (wire.Serve / transport default).
 func NewConn(rw io.ReadWriter) *Conn {
 	c, _ := rw.(io.Closer)
-	return &Conn{rw: rw, c: c}
+	return &Conn{enc: NewEncoder(rw), dec: NewDecoder(rw), c: c}
 }
 
 // Call sends req and waits for the reply. A server-side ErrorReply is
@@ -108,10 +299,10 @@ func NewConn(rw io.ReadWriter) *Conn {
 func (c *Conn) Call(req any) (any, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := Write(c.rw, req); err != nil {
+	if err := c.enc.Encode(req); err != nil {
 		return nil, err
 	}
-	resp, err := Read(c.rw)
+	resp, err := c.dec.Decode()
 	if err != nil {
 		return nil, err
 	}
@@ -129,10 +320,74 @@ func (c *Conn) Close() error {
 	return nil
 }
 
-// Serve answers requests on a stream until it closes: each incoming
-// message is passed to handler and the result (or an ErrorReply)
-// written back. Returns nil on clean EOF.
+// LegacyConn is Conn over the seed's self-contained per-message codec.
+// It exists for the E13 baseline and for peers that must remain
+// stateless per message.
+type LegacyConn struct {
+	mu sync.Mutex
+	rw io.ReadWriter
+	c  io.Closer
+}
+
+// NewLegacyConn wraps a stream with the self-contained codec. The peer
+// must serve the same codec (wire.ServeLegacy / transport compat mode).
+func NewLegacyConn(rw io.ReadWriter) *LegacyConn {
+	c, _ := rw.(io.Closer)
+	return &LegacyConn{rw: rw, c: c}
+}
+
+// Call sends req and waits for the reply, one self-contained gob
+// stream per frame, using the seed's exact write path.
+func (c *LegacyConn) Call(req any) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeSeed(c.rw, req); err != nil {
+		return nil, err
+	}
+	resp, err := Read(c.rw)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := resp.(*ErrorReply); ok {
+		return nil, fmt.Errorf("wire: server: %s", e.Msg)
+	}
+	return resp, nil
+}
+
+// Close closes the underlying stream when possible.
+func (c *LegacyConn) Close() error {
+	if c.c != nil {
+		return c.c.Close()
+	}
+	return nil
+}
+
+// Serve answers requests on a stream until it closes, using the
+// streaming codec: each incoming message is passed to handler and the
+// result (or an ErrorReply) written back. Returns nil on clean EOF.
 func Serve(rw io.ReadWriter, handler func(any) (any, error)) error {
+	enc, dec := NewEncoder(rw), NewDecoder(rw)
+	for {
+		req, err := dec.Decode()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		resp, err := handler(req)
+		if err != nil {
+			resp = &ErrorReply{Msg: err.Error()}
+		}
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+	}
+}
+
+// ServeLegacy is Serve over the seed's self-contained codec, for peers
+// using NewLegacyConn (E13 baseline, compat tests).
+func ServeLegacy(rw io.ReadWriter, handler func(any) (any, error)) error {
 	for {
 		req, err := Read(rw)
 		if err != nil {
@@ -145,7 +400,7 @@ func Serve(rw io.ReadWriter, handler func(any) (any, error)) error {
 		if err != nil {
 			resp = &ErrorReply{Msg: err.Error()}
 		}
-		if err := Write(rw, resp); err != nil {
+		if err := writeSeed(rw, resp); err != nil {
 			return err
 		}
 	}

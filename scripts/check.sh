@@ -1,0 +1,10 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate. Run it before every
+# commit: vet, build everything, then the whole test suite under the
+# race detector (the pipelined server hot path is only trustworthy
+# race-clean).
+set -eux
+cd "$(dirname "$0")/.."
+go vet ./...
+go build ./...
+go test -race ./...

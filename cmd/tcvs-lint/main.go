@@ -1,0 +1,96 @@
+// Command tcvs-lint is the repo's invariant analyzer: a stdlib-only
+// static checker for the conventions the protocol security argument
+// depends on but the compiler cannot see. See internal/lint for the
+// pass catalogue and DESIGN.md "Static analysis & enforced invariants"
+// for the rationale behind each invariant.
+//
+// Usage:
+//
+//	tcvs-lint [-json] [-passes p1,p2] [-slow name,name] [pattern ...]
+//
+// Patterns are package directories relative to the working directory;
+// "./..." (the default) analyzes the whole module. Exit status: 0 when
+// clean, 1 when findings were reported, 2 on load or usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"trustedcvs/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of file:line text")
+	passNames := flag.String("passes", "", "comma-separated subset of passes to run (default: all)")
+	slow := flag.String("slow", "", "extra lockscope slow-call names (go/types FullName form), comma-separated")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tcvs-lint [flags] [pattern ...]\n\npasses:\n")
+		for _, p := range lint.Passes() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", p.Name, p.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	passes := lint.Passes()
+	if *passNames != "" {
+		passes = passes[:0:0]
+		for _, name := range strings.Split(*passNames, ",") {
+			p := lint.PassByName(strings.TrimSpace(name))
+			if p == nil {
+				fmt.Fprintf(os.Stderr, "tcvs-lint: unknown pass %q\n", name)
+				return 2
+			}
+			passes = append(passes, p)
+		}
+	}
+
+	m, err := lint.LoadModule(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcvs-lint: %v\n", err)
+		return 2
+	}
+	if *slow != "" {
+		for _, name := range strings.Split(*slow, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				m.SlowCalls[name] = true
+			}
+		}
+	}
+
+	diags := lint.Run(m, passes)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diag{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "tcvs-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "tcvs-lint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

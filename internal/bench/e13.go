@@ -193,7 +193,7 @@ func p1Setup(size, nClients int) (transport.Handler, func(int) e13Client) {
 		return nil, fmt.Errorf("bench: unexpected request %T", req)
 	}
 	return handler, func(id int) e13Client {
-		return &p1Client{u: proto1.NewUser(signers[id], ring, 1 << 62)}
+		return &p1Client{u: proto1.NewUser(signers[id], ring, 1<<62)}
 	}
 }
 

@@ -102,7 +102,10 @@ outer:
 		}
 	}
 	if dFound < 0 {
-		panic("diff: Myers did not terminate") // impossible: d = n+m always reaches the end
+		// At d = n+m the trivial all-delete/all-insert path always
+		// reaches (n, m), so the search cannot fail for any input.
+		//lint:ignore panicfree unreachable algorithmic invariant: d = n+m always reaches the end
+		panic("diff: Myers did not terminate")
 	}
 
 	// Backtrack from (n, m) to (0, 0).

@@ -1,0 +1,32 @@
+package diff
+
+import "testing"
+
+// FuzzDiffPatch checks the delta algebra the version store depends on,
+// for arbitrary string pairs: applying diff(a,b) to a must reproduce b
+// exactly, and the inverted patch must take b back to a — the reverse
+// deltas stored per version are exactly these inverses.
+func FuzzDiffPatch(f *testing.F) {
+	f.Add("", "")
+	f.Add("a\nb\nc\n", "a\nx\nc\n")
+	f.Add("line1\nline2\n", "line1\nline2\nline3\n")
+	f.Add("x", "x\ny")
+	f.Add("shared prefix\nmid\nshared suffix", "shared prefix\nshared suffix")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		p := Strings(a, b)
+		got, err := p.ApplyStrings(a)
+		if err != nil {
+			t.Fatalf("diff(a,b) failed to apply to a: %v", err)
+		}
+		if got != b {
+			t.Fatalf("apply(diff(a,b), a) = %q, want %q", got, b)
+		}
+		back, err := p.Invert().ApplyStrings(b)
+		if err != nil {
+			t.Fatalf("invert(diff(a,b)) failed to apply to b: %v", err)
+		}
+		if back != a {
+			t.Fatalf("apply(invert(diff(a,b)), b) = %q, want %q", back, a)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// passErrDrop flags discarded error results from the verification and
+// codec surface: functions and methods named Sign, Verify, Finish,
+// Checkpoint, Encode, or Decode whose last result is an error. In this
+// system a dropped error from one of these is not sloppiness but a
+// protocol hole — an unchecked Verify is precisely the deviation the
+// paper's detection guarantee forbids, and an unchecked codec error
+// desynchronizes a gob stream.
+var passErrDrop = &Pass{
+	Name: nameErrDrop,
+	Doc:  "discarded errors from Sign/Verify/Finish/Checkpoint/Encode/Decode",
+	Run:  runErrDrop,
+}
+
+var errDropNames = map[string]bool{
+	"Sign":       true,
+	"Verify":     true,
+	"Finish":     true,
+	"Checkpoint": true,
+	"Encode":     true,
+	"Decode":     true,
+}
+
+func runErrDrop(m *Module) []Diag {
+	var out []Diag
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					if fn, ok := droppable(pkg.Info, st.X); ok {
+						out = append(out, dropDiag(m, st.Pos(), fn, "result discarded"))
+					}
+				case *ast.GoStmt:
+					if fn, ok := droppable(pkg.Info, st.Call); ok {
+						out = append(out, dropDiag(m, st.Pos(), fn, "error lost in go statement"))
+					}
+				case *ast.DeferStmt:
+					if fn, ok := droppable(pkg.Info, st.Call); ok {
+						out = append(out, dropDiag(m, st.Pos(), fn, "error lost in defer"))
+					}
+				case *ast.AssignStmt:
+					if len(st.Rhs) != 1 {
+						return true
+					}
+					fn, ok := droppable(pkg.Info, st.Rhs[0])
+					if !ok {
+						return true
+					}
+					// The error is the last result; flag it when that
+					// position is assigned to the blank identifier.
+					if len(st.Lhs) == results(fn) && isBlank(st.Lhs[len(st.Lhs)-1]) {
+						out = append(out, dropDiag(m, st.Pos(), fn, "error assigned to _"))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func dropDiag(m *Module, pos token.Pos, fn *types.Func, how string) Diag {
+	return m.diagf(nameErrDrop, pos,
+		"%s: %s returns an error that must be checked (verification and codec failures are protocol events, not noise)", how, fn.FullName())
+}
+
+// droppable reports whether e is a call to a function in the errdrop
+// name set whose final result is an error.
+func droppable(info *types.Info, e ast.Expr) (*types.Func, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || !errDropNames[fn.Name()] {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil, false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+		return nil, false
+	}
+	return fn, true
+}
+
+func results(fn *types.Func) int {
+	return fn.Type().(*types.Signature).Results().Len()
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

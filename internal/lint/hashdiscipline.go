@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// passHashDiscipline enforces the hashing and framing discipline the
+// verification-object algebra depends on:
+//
+//   - crypto/sha256 and crypto/sha512 may be imported only by
+//     internal/digest. A raw sha256.Sum256 elsewhere bypasses domain
+//     separation and silently breaks the VO algebra Protocols II/III
+//     build their XOR registers on.
+//   - encoding/gob encoders/decoders may not be constructed directly on
+//     a net.Conn outside internal/wire. The wire package's framed codec
+//     is the only place the MaxMessage decode budget is enforced; a raw
+//     gob.NewDecoder(conn) hands a hostile peer an unbounded allocation.
+var passHashDiscipline = &Pass{
+	Name: nameHashDiscipline,
+	Doc:  "raw hash imports outside internal/digest; raw gob codecs on net.Conn outside internal/wire",
+	Run:  runHashDiscipline,
+}
+
+func runHashDiscipline(m *Module) []Diag {
+	var out []Diag
+	conn := m.netConn()
+	for _, pkg := range m.Pkgs {
+		if pkg.Rel != "internal/digest" {
+			for _, f := range pkg.Files {
+				for _, imp := range f.Imports {
+					p, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if p == "crypto/sha256" || p == "crypto/sha512" {
+						out = append(out, m.diagf(nameHashDiscipline, imp.Pos(),
+							"import of %s outside internal/digest: all hashing must go through digest's domain-separated helpers", p))
+					}
+				}
+			}
+		}
+		if pkg.Rel == "internal/wire" || conn == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || len(call.Args) != 1 {
+					return true
+				}
+				full := fn.FullName()
+				if full != "encoding/gob.NewDecoder" && full != "encoding/gob.NewEncoder" {
+					return true
+				}
+				t := pkg.Info.TypeOf(call.Args[0])
+				if t == nil {
+					return true
+				}
+				if types.Implements(t, conn) || types.Implements(types.NewPointer(t), conn) {
+					out = append(out, m.diagf(nameHashDiscipline, call.Pos(),
+						"%s directly on a net.Conn outside internal/wire: use the framed wire codec so the MaxMessage decode budget applies", full))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

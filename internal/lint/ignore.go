@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment. It suppresses
+// findings of the named passes on its own line and on the line
+// directly below it (so it works both as a trailing comment and as a
+// standalone line above the offending statement).
+type ignoreDirective struct {
+	passes []string
+	line   int
+}
+
+// collectIgnores indexes every //lint:ignore directive of the files.
+// Malformed directives (no pass list or no reason) are ignored rather
+// than honored: a suppression without a written justification does not
+// suppress.
+func (m *Module) collectIgnores(files []*ast.File) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 { // pass list + at least one reason word
+					continue
+				}
+				pos := m.Fset.Position(c.Pos())
+				rel := m.relFile(pos.Filename)
+				m.ignores[rel] = append(m.ignores[rel], ignoreDirective{
+					passes: strings.Split(fields[0], ","),
+					line:   pos.Line,
+				})
+			}
+		}
+	}
+}
+
+// suppressed reports whether a finding is covered by an ignore
+// directive.
+func (m *Module) suppressed(pass string, d Diag) bool {
+	for _, ig := range m.ignores[d.File] {
+		if d.Line != ig.line && d.Line != ig.line+1 {
+			continue
+		}
+		for _, p := range ig.passes {
+			if p == pass || p == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+// Package lint implements tcvs-lint, the repo's stdlib-only invariant
+// analyzer. The protocols' security argument rests on conventions the
+// compiler cannot enforce — every hash goes through internal/digest's
+// domain-separated helpers, the pipelined servers' serial sections stay
+// narrow, network-facing gob decoding stays behind internal/wire's
+// MaxMessage budget, verification paths stay deterministic, and
+// error-carrying verification results are never dropped. This package
+// machine-checks those conventions on every commit (scripts/check.sh
+// runs `tcvs-lint ./...` as a hard gate).
+//
+// The analyzer is deliberately built on nothing but the standard
+// library (go/parser, go/ast, go/types, go/importer): it must run in
+// the same sandboxed environments as the tests, with no module
+// downloads.
+//
+// # Suppressions
+//
+// A finding is suppressed by a comment on the same line or the line
+// directly above it:
+//
+//	//lint:ignore <pass>[,<pass>...] <reason>
+//
+// The reason is mandatory; a directive without one is ignored. The
+// pass name "all" suppresses every pass.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// A Diag is one finding: a violated invariant at a source position.
+type Diag struct {
+	Pass string `json:"pass"`
+	File string `json:"file"` // slash-separated, relative to the module root
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diag) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Pass, d.Msg)
+}
+
+// A Pass is one invariant checker run over a loaded module.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(m *Module) []Diag
+}
+
+// Pass names (referenced by run functions; keeping them as constants
+// avoids initialization cycles through the Pass variables).
+const (
+	nameHashDiscipline = "hashdiscipline"
+	nameLockScope      = "lockscope"
+	nameRandSource     = "randsource"
+	nameErrDrop        = "errdrop"
+	namePanicFree      = "panicfree"
+)
+
+// Passes returns all registered passes in their canonical order.
+func Passes() []*Pass {
+	return []*Pass{
+		passHashDiscipline,
+		passLockScope,
+		passRandSource,
+		passErrDrop,
+		passPanicFree,
+	}
+}
+
+// PassByName resolves a comma-separable pass name; nil if unknown.
+func PassByName(name string) *Pass {
+	for _, p := range Passes() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Run executes the passes over the module, filters suppressed findings,
+// and returns the rest sorted by position.
+func Run(m *Module, passes []*Pass) []Diag {
+	var out []Diag
+	for _, p := range passes {
+		for _, d := range p.Run(m) {
+			if !m.suppressed(p.Name, d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Msg < b.Msg
+	})
+	return out
+}
+
+// calleeFunc resolves the function or method a call statically invokes.
+// Calls through function-typed variables, interface values with no
+// static callee, or type conversions return nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// underAny reports whether a module-relative package path equals one of
+// the given roots or sits beneath one of them.
+func underAny(rel string, roots ...string) bool {
+	for _, r := range roots {
+		if rel == r || (len(rel) > len(r) && rel[:len(r)] == r && rel[len(r)] == '/') {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFixtureCorpus pins the analyzer's behavior on the golden fixture
+// module: every planted violation must be reported with this exact
+// pass, file, and line — and nothing else. The corpus also contains
+// suppressed occurrences, correctly-narrowed variants, a privileged
+// package (fixture digest), and a _test.go violation, all of which
+// must stay silent.
+func TestFixtureCorpus(t *testing.T) {
+	m, err := LoadModule("testdata/src/fixture", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load fixture module: %v", err)
+	}
+	want := []struct {
+		pass string
+		file string
+		line int
+	}{
+		{"errdrop", "internal/codec/drop.go", 19},        // ExprStmt discard
+		{"errdrop", "internal/codec/drop.go", 24},        // error assigned to _
+		{"errdrop", "internal/codec/drop.go", 30},        // error lost in defer
+		{"lockscope", "internal/core/sign.go", 20},       // ed25519.Sign under Lock
+		{"hashdiscipline", "internal/cvs/rawgob.go", 13}, // raw gob on net.Conn
+		{"randsource", "internal/merkle/clock.go", 7},    // time.Now in merkle
+		{"hashdiscipline", "internal/merkle/hash.go", 6}, // sha256 outside digest
+		{"panicfree", "internal/server/entry.go", 29},    // panic via HandleOp
+		{"randsource", "internal/sig/rand.go", 5},        // math/rand in sig
+		{"lockscope", "internal/transport/conn.go", 20},  // net.Conn.Write under Lock
+		{"lockscope", "internal/vdb/lock.go", 22},        // gob Encode under defer-Unlock
+	}
+	got := Run(m, Passes())
+	for i := 0; i < len(got) || i < len(want); i++ {
+		var g, w string
+		if i < len(got) {
+			g = fmt.Sprintf("%s:%d %s", got[i].File, got[i].Line, got[i].Pass)
+		}
+		if i < len(want) {
+			w = fmt.Sprintf("%s:%d %s", want[i].file, want[i].line, want[i].pass)
+		}
+		if g != w {
+			t.Errorf("finding %d:\n  got  %q\n  want %q", i, g, w)
+		}
+	}
+	if t.Failed() {
+		for _, d := range got {
+			t.Logf("full: %s", d)
+		}
+	}
+}
+
+// TestFixtureSinglePass checks pass selection: running only
+// hashdiscipline over the corpus must yield exactly its two findings.
+func TestFixtureSinglePass(t *testing.T) {
+	m, err := LoadModule("testdata/src/fixture", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load fixture module: %v", err)
+	}
+	p := PassByName("hashdiscipline")
+	if p == nil {
+		t.Fatal("PassByName(hashdiscipline) = nil")
+	}
+	got := Run(m, []*Pass{p})
+	if len(got) != 2 {
+		t.Fatalf("hashdiscipline findings = %d, want 2: %v", len(got), got)
+	}
+	for _, d := range got {
+		if d.Pass != "hashdiscipline" {
+			t.Errorf("unexpected pass %q in filtered run", d.Pass)
+		}
+	}
+}
+
+// TestRepoIsClean runs every pass over the real module: the tree this
+// test ships with must carry zero unsuppressed findings, so check.sh's
+// lint gate can never be red on a healthy checkout.
+func TestRepoIsClean(t *testing.T) {
+	m, err := LoadModule("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	for _, d := range Run(m, Passes()) {
+		t.Errorf("unexpected finding on clean tree: %s", d)
+	}
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// passPanicFree proves (statically, over the module's static call
+// graph) that no panic is reachable from the exported server and
+// handler entry points — the surface a remote peer can drive. A panic
+// there is a remote denial-of-service: one hostile request takes down
+// the server for every honest user.
+//
+// Entry points are the exported functions and methods of
+// internal/server, internal/driver, and internal/transport. Edges are
+// static calls only: calls through interfaces and function values end
+// a path (the wire layer already guarantees decoded requests are
+// structurally validated before any dynamic dispatch). Vetted
+// constructors — functions named New* or Must* — may panic on
+// programmer error; their panics are exempt, but the walk continues
+// through them.
+var passPanicFree = &Pass{
+	Name: namePanicFree,
+	Doc:  "panics statically reachable from exported server/handler entry points",
+	Run:  runPanicFree,
+}
+
+var panicEntryScope = []string{"internal/server", "internal/driver", "internal/transport"}
+
+type pfNode struct {
+	fn     *types.Func
+	pkg    *Package
+	panics []token.Pos
+	calls  []*types.Func
+}
+
+func runPanicFree(m *Module) []Diag {
+	nodes := make(map[*types.Func]*pfNode)
+	var entries []*types.Func
+	for _, pkg := range m.Pkgs {
+		isEntryPkg := underAny(pkg.Rel, panicEntryScope...)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &pfNode{fn: obj, pkg: pkg}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+						if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+							node.panics = append(node.panics, call.Pos())
+							return true
+						}
+					}
+					if callee := calleeFunc(pkg.Info, call); callee != nil {
+						node.calls = append(node.calls, callee)
+					}
+					return true
+				})
+				nodes[obj] = node
+				if isEntryPkg && obj.Exported() {
+					entries = append(entries, obj)
+				}
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].FullName() < entries[j].FullName() })
+
+	// BFS over static edges from all entries, remembering one shortest
+	// path per function for the report.
+	parent := make(map[*types.Func]*types.Func)
+	visited := make(map[*types.Func]bool)
+	var queue []*types.Func
+	for _, e := range entries {
+		if !visited[e] {
+			visited[e] = true
+			queue = append(queue, e)
+		}
+	}
+	reported := make(map[token.Pos]bool)
+	var out []Diag
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		node := nodes[fn]
+		if node == nil {
+			continue // defined outside the loaded module (or no body)
+		}
+		if !vettedPanicker(fn.Name()) {
+			for _, p := range node.panics {
+				if reported[p] {
+					continue
+				}
+				reported[p] = true
+				out = append(out, m.diagf(namePanicFree, p,
+					"panic reachable from exported entry point via %s: a hostile request must surface as an error, not a crash",
+					callPath(parent, fn)))
+			}
+		}
+		for _, callee := range node.calls {
+			if nodes[callee] == nil || visited[callee] {
+				continue
+			}
+			visited[callee] = true
+			parent[callee] = fn
+			queue = append(queue, callee)
+		}
+	}
+	return out
+}
+
+// vettedPanicker reports whether a function is a vetted constructor
+// whose argument-validation panics are programmer errors by contract.
+func vettedPanicker(name string) bool {
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "Must")
+}
+
+// callPath renders the entry→…→fn chain recorded by the BFS.
+func callPath(parent map[*types.Func]*types.Func, fn *types.Func) string {
+	var chain []string
+	for f := fn; f != nil; f = parent[f] {
+		chain = append(chain, funcLabel(f))
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return strings.Join(chain, " -> ")
+}
+
+// funcLabel is a compact pkg.Func / pkg.(Recv).Method label.
+func funcLabel(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s(%s).%s", pkg, named.Obj().Name(), fn.Name())
+		}
+	}
+	return pkg + fn.Name()
+}

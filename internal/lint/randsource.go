@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// passRandSource keeps the security-critical packages deterministic
+// and properly seeded:
+//
+//   - math/rand (and math/rand/v2) are banned from internal/sig,
+//     internal/core/..., and internal/wire. Key material and protocol
+//     nonces must come from crypto/rand; a PRNG that slips into these
+//     packages is a silent key-compromise bug.
+//   - time.Now is banned from internal/merkle and internal/vdb. Ops
+//     replayed by verifiers must be deterministic — the paper's v(Q,D)
+//     check replays the exact server computation, and a clock read in
+//     a verification path would diverge between server and client.
+var passRandSource = &Pass{
+	Name: nameRandSource,
+	Doc:  "math/rand in signature/protocol/wire packages; clock reads in verification paths",
+	Run:  runRandSource,
+}
+
+var (
+	randBanScope = []string{"internal/sig", "internal/core", "internal/wire"}
+	timeBanScope = []string{"internal/merkle", "internal/vdb"}
+)
+
+func runRandSource(m *Module) []Diag {
+	var out []Diag
+	for _, pkg := range m.Pkgs {
+		if underAny(pkg.Rel, randBanScope...) {
+			for _, f := range pkg.Files {
+				for _, imp := range f.Imports {
+					p, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if p == "math/rand" || p == "math/rand/v2" {
+						out = append(out, m.diagf(nameRandSource, imp.Pos(),
+							"import of %s in %s: deterministic PRNGs must not feed signatures or protocol state (use crypto/rand)", p, pkg.Rel))
+					}
+				}
+			}
+		}
+		if underAny(pkg.Rel, timeBanScope...) {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if fn := calleeFunc(pkg.Info, call); fn != nil && fn.FullName() == "time.Now" {
+						out = append(out, m.diagf(nameRandSource, call.Pos(),
+							"time.Now in %s: verification paths replay deterministically on the client; clock reads diverge", pkg.Rel))
+					}
+					return true
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+// Package codec exercises errdrop: discarded errors from the
+// Sign/Verify/Finish/Checkpoint/Encode/Decode surface.
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Checkpointer is a stand-in for the persistence layer.
+type Checkpointer struct{}
+
+// Checkpoint flushes state and can fail.
+func (c *Checkpointer) Checkpoint() error { return nil }
+
+// DropEncode throws the codec error away entirely.
+func DropEncode(v int) {
+	var buf bytes.Buffer
+	gob.NewEncoder(&buf).Encode(v)
+}
+
+// BlankCheckpoint assigns the error to the blank identifier.
+func BlankCheckpoint(c *Checkpointer) {
+	_ = c.Checkpoint()
+}
+
+// DeferDecode loses the error in a defer.
+func DeferDecode(buf *bytes.Buffer, v *int) {
+	dec := gob.NewDecoder(buf)
+	defer dec.Decode(v)
+}
+
+// Checked handles the error and must not be reported.
+func Checked(v int) error {
+	var buf bytes.Buffer
+	return gob.NewEncoder(&buf).Encode(v)
+}

@@ -1,0 +1,33 @@
+// Package core exercises lockscope's crypto rule: an Ed25519 signature
+// inside an explicit Lock/Unlock window.
+package core
+
+import (
+	"crypto/ed25519"
+	"sync"
+)
+
+// Signer holds a key behind a mutex.
+type Signer struct {
+	mu   sync.Mutex
+	priv ed25519.PrivateKey
+	last []byte
+}
+
+// SignUnderLock performs the signature inside the critical section.
+func (s *Signer) SignUnderLock(msg []byte) []byte {
+	s.mu.Lock()
+	sig := ed25519.Sign(s.priv, msg)
+	s.last = sig
+	s.mu.Unlock()
+	return sig
+}
+
+// SignOutsideLock signs first and only stores under the lock.
+func (s *Signer) SignOutsideLock(msg []byte) []byte {
+	sig := ed25519.Sign(s.priv, msg)
+	s.mu.Lock()
+	s.last = sig
+	s.mu.Unlock()
+	return sig
+}

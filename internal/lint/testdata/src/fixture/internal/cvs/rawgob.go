@@ -1,0 +1,23 @@
+// Package cvs exercises the raw-gob-on-net.Conn half of
+// hashdiscipline, including a suppressed occurrence.
+package cvs
+
+import (
+	"encoding/gob"
+	"net"
+)
+
+// Recv decodes straight off the connection with no frame budget.
+func Recv(c net.Conn) (string, error) {
+	var s string
+	err := gob.NewDecoder(c).Decode(&s)
+	return s, err
+}
+
+// RecvQuiet is the same violation under an ignore directive.
+func RecvQuiet(c net.Conn) (string, error) {
+	var s string
+	//lint:ignore hashdiscipline fixture: suppression on the line above the call must hold
+	err := gob.NewDecoder(c).Decode(&s)
+	return s, err
+}

@@ -1,0 +1,10 @@
+// Package merkle violates hashdiscipline (raw sha256 import bypassing
+// domain separation) and randsource (clock read in a verification-path
+// package).
+package merkle
+
+import "crypto/sha256"
+
+// Root bypasses the domain-separated helpers — the exact bug
+// hashdiscipline exists to catch.
+func Root(b []byte) [32]byte { return sha256.Sum256(b) }

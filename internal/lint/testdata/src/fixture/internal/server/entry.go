@@ -1,0 +1,41 @@
+// Package server exercises panicfree: a panic reachable from an
+// exported handler is flagged; vetted-constructor panics are exempt;
+// a panic under an ignore directive is suppressed.
+package server
+
+// Server handles remote requests.
+type Server struct {
+	limit int
+}
+
+// NewServer may panic on programmer error — vetted constructor, exempt.
+func NewServer(limit int) *Server {
+	if limit <= 0 {
+		panic("server: limit must be positive")
+	}
+	return &Server{limit: limit}
+}
+
+// HandleOp is a remote-driveable entry point.
+func (s *Server) HandleOp(n int) int {
+	s.checkBudget(n)
+	return n
+}
+
+// checkBudget panics on a hostile request — the remote DoS the pass
+// exists to catch.
+func (s *Server) checkBudget(n int) {
+	if n > s.limit {
+		panic("budget exceeded")
+	}
+}
+
+// HandleQuiet reaches a panic whose site carries an ignore directive.
+func (s *Server) HandleQuiet() {
+	s.exhaust()
+}
+
+func (s *Server) exhaust() {
+	//lint:ignore panicfree fixture: documented unreachable invariant
+	panic("unreachable")
+}

@@ -1,0 +1,8 @@
+// Package sig exercises randsource: a deterministic PRNG import in the
+// signature package.
+package sig
+
+import "math/rand"
+
+// Weak is what key generation must never look like.
+func Weak() int64 { return rand.Int63() }

@@ -1,0 +1,8 @@
+// Test files are excluded from analysis: this math/rand import must
+// not be reported.
+package sig
+
+import "math/rand"
+
+// TestOnly proves _test.go files never reach the passes.
+func TestOnly() int64 { return rand.Int63() }

@@ -1,0 +1,31 @@
+// Package transport exercises lockscope's network rule plus its
+// suppression syntax.
+package transport
+
+import (
+	"net"
+	"sync"
+)
+
+// Mux serializes writers onto one connection.
+type Mux struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// Send writes to the socket while holding the mutex.
+func (m *Mux) Send(b []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, err := m.c.Write(b)
+	return err
+}
+
+// SendSuppressed is the same shape with a documented justification.
+func (m *Mux) SendSuppressed(b []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	//lint:ignore lockscope fixture: per-connection write serialization is the point of this mutex
+	_, err := m.c.Write(b)
+	return err
+}

@@ -36,7 +36,10 @@ func snapNode(n *node) *SnapshotNode {
 		return nil
 	}
 	if n.pruned {
-		// Partial trees are verification artifacts, never persisted.
+		// Partial trees are verification artifacts that exist only on
+		// the client side; the server's persistent tree is always
+		// complete, so no remote input can steer a checkpoint here.
+		//lint:ignore panicfree server trees are never partial; pruned nodes only come from VO materialization on verifiers
 		panic("merkle: cannot snapshot a partial tree")
 	}
 	sn := &SnapshotNode{Leaf: n.leaf, Keys: append([]string(nil), n.keys...)}

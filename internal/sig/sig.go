@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	//lint:ignore randsource used only by DeterministicSigners for test/bench keys; production keys come from crypto/rand via NewSigner
 	mrand "math/rand"
 	"sort"
 

@@ -72,9 +72,9 @@ func TestFinishConcurrentWithBegin(t *testing.T) {
 	}
 
 	type staged struct {
-		op   Op
-		pre  [32]byte
-		st   *Staged
+		op  Op
+		pre [32]byte
+		st  *Staged
 	}
 	const ops = 200
 	pending := make(chan staged, ops)

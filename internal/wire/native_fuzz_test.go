@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/vdb"
+)
+
+// FuzzFrameDecode drives both wire decoders (legacy self-contained
+// Read and the streaming Decoder) with arbitrary bytes. Properties:
+// no panic on any input, and a frame header promising more than
+// MaxMessage must be rejected with ErrTooLarge before any allocation —
+// the decode budget is the server-side DoS defense.
+func FuzzFrameDecode(f *testing.F) {
+	db := vdb.New(0)
+	ans, vo, err := db.Apply(&vdb.WriteOp{Puts: []vdb.KV{{Key: "k", Val: []byte("v")}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var frame bytes.Buffer
+	if err := Write(&frame, &core.OpResponseII{Answer: ans, VO: vo, Ctr: 0, Last: 7}); err != nil {
+		f.Fatal(err)
+	}
+	honest := frame.Bytes()
+	f.Add(append([]byte(nil), honest...))
+	f.Add(append([]byte(nil), honest[:len(honest)/2]...))
+	var over [8]byte
+	binary.BigEndian.PutUint32(over[:4], MaxMessage+1)
+	f.Add(over[:])
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0xff})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		msg, err := Read(bytes.NewReader(b))
+		if len(b) >= 4 {
+			if n := binary.BigEndian.Uint32(b[:4]); n > MaxMessage && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("header promises %d bytes (over MaxMessage) but Read returned %v", n, err)
+			}
+		}
+		if err == nil {
+			// A decoded hostile response flows into VO materialization
+			// downstream; that path must be total as well.
+			if resp, ok := msg.(*core.OpResponseII); ok && resp.VO != nil {
+				_, _ = resp.VO.Tree()
+			}
+		}
+		d := NewDecoder(bytes.NewReader(b))
+		for i := 0; i < 4; i++ {
+			if _, err := d.Decode(); err != nil {
+				break
+			}
+		}
+	})
+}

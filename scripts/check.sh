@@ -1,10 +1,25 @@
 #!/bin/sh
 # check.sh — the repo's full verification gate. Run it before every
-# commit: vet, build everything, then the whole test suite under the
-# race detector (the pipelined server hot path is only trustworthy
-# race-clean).
+# commit: formatting, vet, build, the repo's own invariant analyzer
+# (tcvs-lint: hash discipline, lock narrowness, deterministic
+# verification paths, checked errors, panic-free handlers), the whole
+# test suite under the race detector (the pipelined server hot path is
+# only trustworthy race-clean), and a fuzz smoke over the three
+# untrusted-input surfaces (wire frames, verification objects, diffs).
 set -eux
 cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt: needs formatting: $fmt" >&2
+    exit 1
+fi
+
 go vet ./...
 go build ./...
+go run ./cmd/tcvs-lint ./...
 go test -race ./...
+
+go test -run='^$' -fuzz='^FuzzFrameDecode$' -fuzztime=10s ./internal/wire
+go test -run='^$' -fuzz='^FuzzVOVerify$' -fuzztime=10s ./internal/merkle
+go test -run='^$' -fuzz='^FuzzDiffPatch$' -fuzztime=10s ./internal/diff

@@ -1,4 +1,4 @@
-// Command tcvs-bench regenerates the experiment tables E1–E13 (see
+// Command tcvs-bench regenerates the experiment tables E1–E14 (see
 // DESIGN.md §2 for the mapping to the paper's figures, theorems and
 // design claims, and EXPERIMENTS.md for recorded results).
 //
@@ -7,19 +7,21 @@
 //	tcvs-bench            # run everything
 //	tcvs-bench -e E2      # one experiment
 //	tcvs-bench -e E13     # concurrency benchmark; also writes BENCH_E13.json
+//	tcvs-bench -e E14     # fault/recovery experiment; writes BENCH_E14.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"trustedcvs/internal/bench"
 )
 
 func main() {
-	var e = flag.String("e", "all", "experiment to run: E1..E13 or all")
-	var out = flag.String("o", "BENCH_E13.json", "output path for E13's JSON record")
+	var e = flag.String("e", "all", "experiment to run: E1..E14 or all")
+	var out = flag.String("o", "", "output path for E13/E14's JSON record (default BENCH_<ID>.json)")
 	flag.Parse()
 
 	if *e == "all" {
@@ -28,31 +30,44 @@ func main() {
 		}
 		return
 	}
-	if *e == "E13" {
-		// E13 runs through RunE13 so the raw data can be recorded
-		// alongside the rendered table.
-		d, err := bench.RunE13(bench.DefaultE13Config())
+	// E13 and E14 run through their Run functions so the raw data can
+	// be recorded alongside the rendered table.
+	if *e == "E13" || *e == "E14" {
+		var d interface {
+			Table() *bench.Table
+			WriteJSON(w io.Writer) error
+		}
+		var err error
+		if *e == "E13" {
+			d, err = bench.RunE13(bench.DefaultE13Config())
+		} else {
+			d, err = bench.RunE14(bench.DefaultE14Config())
+		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "E13: %v\n", err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *e, err)
 			os.Exit(1)
 		}
 		d.Table().Render(os.Stdout)
-		f, err := os.Create(*out)
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", *e)
+		}
+		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "E13: %v\n", err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *e, err)
 			os.Exit(1)
 		}
 		defer f.Close()
 		if err := d.WriteJSON(f); err != nil {
-			fmt.Fprintf(os.Stderr, "E13: %v\n", err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *e, err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nwrote %s\n", *out)
+		fmt.Printf("\nwrote %s\n", path)
 		return
 	}
 	run, ok := bench.ByID(*e)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E13 or all)\n", *e)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E14 or all)\n", *e)
 		os.Exit(2)
 	}
 	run().Render(os.Stdout)

@@ -15,12 +15,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"trustedcvs/internal/adversary"
@@ -28,6 +32,7 @@ import (
 	"trustedcvs/internal/core/proto1"
 	"trustedcvs/internal/cvs"
 	"trustedcvs/internal/driver"
+	"trustedcvs/internal/fault"
 	"trustedcvs/internal/server"
 	"trustedcvs/internal/sig"
 	"trustedcvs/internal/transport"
@@ -57,6 +62,10 @@ func main() {
 		log.Fatal(err)
 	}
 	db := vdb.New(*order)
+	// The session table gives reconnecting clients exactly-once retry
+	// semantics; it is checkpointed and restored alongside the database
+	// so retries from before a crash still replay instead of re-applying.
+	sessions := transport.NewSessionTable(0)
 	var honest server.Server
 	var loadedStore *cvs.Store
 	switch p {
@@ -68,16 +77,22 @@ func main() {
 		honest = server.NewP1(db, proto1.Initialize(signers[0], db.Root()))
 	case server.P2:
 		if *dataFile != "" {
-			if f, err := os.Open(*dataFile); err == nil {
-				honest, loadedStore, err = server.LoadP2(f)
-				f.Close()
+			snap, from, err := server.LoadP2Auto(*dataFile)
+			switch {
+			case err == nil:
+				honest, loadedStore, err = server.RestoreP2(snap)
 				if err != nil {
-					log.Fatalf("load %s: %v", *dataFile, err)
+					log.Fatalf("restore %s: %v", from, err)
+				}
+				if snap.Sessions != nil {
+					sessions.RestoreSessions(snap.Sessions)
 				}
 				log.Printf("restored state from %s: %d ops, root %s",
-					*dataFile, honest.DB().Ctr(), honest.DB().Root().Short())
-			} else if !os.IsNotExist(err) {
-				log.Fatal(err)
+					from, honest.DB().Ctr(), honest.DB().Root().Short())
+			case errors.Is(err, server.ErrNoSnapshot):
+				// First boot: start from the empty repository.
+			default:
+				log.Fatalf("load %s: %v", *dataFile, err)
 			}
 		}
 		if honest == nil {
@@ -115,16 +130,17 @@ func main() {
 	// protocol state through its own ordered section (an O(1) fork of
 	// the copy-on-write database) and the content store snapshots under
 	// its own lock, so persistence never stalls the pipelined hot path.
-	if *dataFile != "" && p == server.P2 && *behavior == "honest" {
+	persisting := *dataFile != "" && p == server.P2 && *behavior == "honest"
+	if persisting {
 		go func() {
 			for range time.Tick(*saveIvl) {
-				if err := saveState(*dataFile, srv, store); err != nil {
+				if err := saveState(*dataFile, srv, store, sessions); err != nil {
 					log.Printf("persist: %v", err)
 				}
 			}
 		}()
 	}
-	ts, err := transport.Listen(*addr, handler)
+	ts, err := transport.ListenOpts(*addr, handler, transport.Options{Sessions: sessions})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -137,26 +153,47 @@ func main() {
 		}
 		log.Printf("broadcast hub on %s", hub.Addr())
 	}
-	select {}
+
+	// Graceful shutdown: sever the transport FIRST (drain in-flight
+	// handlers, accept nothing new), THEN checkpoint. The other order
+	// would let an operation be acknowledged after the checkpoint was
+	// cut; on restart that acked tail would be gone and every client's
+	// next sync would — correctly, but needlessly — raise a rollback
+	// alarm.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sigc
+	log.Printf("%v: draining transport", s)
+	if err := ts.Shutdown(5 * time.Second); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if persisting {
+		if err := saveState(*dataFile, srv, store, sessions); err != nil {
+			log.Fatalf("final checkpoint: %v", err)
+		}
+		log.Printf("state saved to %s", *dataFile)
+	}
 }
 
-// saveState atomically persists the Protocol II server + store.
-func saveState(path string, srv server.Server, store *cvs.Store) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
+// saveState persists the Protocol II server + store + session cache as
+// one crash-safe generation. The session freeze quiesces dispatch for
+// only as long as the O(1) state capture takes; encoding and disk I/O
+// run after traffic has resumed.
+func saveState(path string, srv server.Server, store *cvs.Store, sessions *transport.SessionTable) error {
+	var snap *server.P2Snapshot
+	var cerr error
+	sessions.Freeze(func(ss *transport.SessionsSnapshot) {
+		snap, cerr = server.CheckpointP2(srv, store)
+		if cerr == nil {
+			snap.Sessions = ss
+		}
+	})
+	if cerr != nil {
+		return cerr
 	}
-	if err := server.SaveP2(f, srv, store); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return server.WriteSnapshotFile(fault.OS, path, func(w io.Writer) error {
+		return server.EncodeP2Snapshot(w, snap)
+	})
 }
 
 func parseBehavior(name string, trigger uint64, groupB string, target sig.UserID) (adversary.Config, error) {

@@ -76,14 +76,12 @@ func run() error {
 		*author = fmt.Sprintf("user%d", *user)
 	}
 
-	conn, err := transport.Dial(*serverAddr)
-	if err != nil {
-		return err
-	}
-	bc, err := broadcast.DialHub(*hubAddr)
-	if err != nil {
-		return err
-	}
+	// Resilient endpoints: the server connection reconnects and retries
+	// with exactly-once semantics (session table on the server side),
+	// and the hub channel resumes the broadcast log after a drop — a
+	// flaky network costs latency, never a false alarm.
+	conn := transport.DialResilient(*serverAddr, transport.RetryPolicy{})
+	bc := broadcast.DialHubResume(*hubAddr)
 
 	var client *driver.Client
 	var save func() error

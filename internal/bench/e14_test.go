@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE14KillRestartUnderFaults is the PR's acceptance scenario at
+// test scale: a live Protocol II server is killed and restarted
+// mid-workload while every client connection (server and hub) runs
+// through fault injection. Every client must complete its workload
+// with zero false deviation alarms, the final state must account for
+// every operation exactly once, and a tampering server through the
+// same faulty network must still be detected.
+func TestE14KillRestartUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E14 runs a multi-second fault workload")
+	}
+	cfg := E14Config{
+		DBSize: 200, Users: 3, OpsPerUser: 60, K: 8,
+		Outage: 100 * time.Millisecond, Seed: 7,
+		ResetProb: 0.02, TruncateProb: 0.01,
+	}
+	d, err := RunE14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FalseAlarms != 0 {
+		t.Fatalf("false deviation alarms under benign faults: %d", d.FalseAlarms)
+	}
+	if !d.CtrMatchesOps {
+		t.Fatalf("exactly-once violated: server ctr %d, clients performed %d", d.FinalCtr, d.TotalOps)
+	}
+	if !d.RootContinuity {
+		t.Fatal("restored root digest does not match the checkpoint cut")
+	}
+	if d.FaultsInjected == 0 {
+		t.Fatal("no faults injected; the run proved nothing")
+	}
+	if d.TransportReconnects == 0 {
+		t.Fatal("no transport reconnects; the kill/restart did not exercise recovery")
+	}
+	if !d.AdversaryDetected {
+		t.Fatal("tampering server was not detected through the faulty network")
+	}
+	if d.RecoveryMillis <= 0 {
+		t.Fatal("recovery latency was not measured")
+	}
+	t.Logf("E14: %d faults, %d transport + %d hub reconnects, recovery %.1fms, detection %s",
+		d.FaultsInjected, d.TransportReconnects, d.HubReconnects, d.RecoveryMillis, d.DetectionClass)
+}

@@ -214,9 +214,10 @@ func genTrace(users, ops int, seed int64) *workload.Trace {
 // All runs every experiment in order: E1–E8 reproduce the paper's
 // exhibits, E9–E11 ablate DESIGN.md's design choices, E12 measures the
 // fault-localization extension, E13 measures the pipelined transport
-// under concurrent TCP clients.
+// under concurrent TCP clients, E14 measures availability and recovery
+// under fault injection.
 func All() []*Table {
-	return []*Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13()}
+	return []*Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14()}
 }
 
 // ByID returns one experiment's runner.
@@ -225,7 +226,7 @@ func ByID(id string) (func() *Table, bool) {
 		"E1": E1, "E2": E2, "E3": E3, "E4": E4,
 		"E5": E5, "E6": E6, "E7": E7, "E8": E8,
 		"E9": E9, "E10": E10, "E11": E11, "E12": E12,
-		"E13": E13,
+		"E13": E13, "E14": E14,
 	}
 	f, ok := m[id]
 	return f, ok

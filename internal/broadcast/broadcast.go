@@ -6,7 +6,13 @@
 //
 // The channel is between USERS only; the untrusted server never sees
 // it. Reliability and in-order delivery are assumed by the paper's
-// model (failures are out of scope).
+// model (failures are out of scope). The TCP hub no longer leans on
+// that assumption: it keeps an indexed log of everything published, so
+// a participant that loses its connection redials and resumes from its
+// last-delivered index (DialHubResume) — same FIFO total order, no
+// gaps, no duplicates. The sync-barrier proof needs exactly that
+// order, which is why resumption replays the hub's log instead of
+// trusting the network.
 package broadcast
 
 import (
@@ -22,6 +28,49 @@ import (
 
 func init() {
 	gob.Register(&Message{})
+	gob.Register(&hubHello{})
+	gob.Register(&hubPub{})
+	gob.Register(&hubSeq{})
+	gob.Register(&hubAck{})
+}
+
+// hubHello upgrades a connection to resumable delivery: the hub
+// replays every logged entry with index > Last, then streams new ones.
+type hubHello struct {
+	SID  uint64 // client session nonce, nonzero
+	Last uint64 // last log index the client has fully delivered
+}
+
+// hubPub is a resumable client's publication. PubSeq increments per
+// publish within the session; the hub logs each (SID, PubSeq) at most
+// once, so the resend-after-reconnect a client cannot avoid (it can't
+// know whether the first copy arrived) is deduplicated here instead of
+// fanning out twice — a duplicate sync-request would re-open a
+// completed round and tear the registers' consistent cut.
+type hubPub struct {
+	SID    uint64
+	PubSeq uint64
+	Msg    Message
+}
+
+// hubSeq is one log entry as delivered to resumable clients: the
+// message plus its position in the hub's total order and the publisher
+// coordinates the client needs to ack its own publications.
+type hubSeq struct {
+	Idx    uint64
+	SID    uint64
+	PubSeq uint64
+	Msg    Message
+}
+
+// hubAck tells a resumable publisher how far its publications are
+// durably in the log (every PubSeq <= LastPub), sent on hello and on
+// every received publication. Without it a publisher behind on log
+// delivery would have to read its whole backlog before learning that
+// its resends are redundant — on a flaky link the resend traffic then
+// starves the very reads that would quiet it.
+type hubAck struct {
+	LastPub uint64
 }
 
 // Message is one broadcast datum. Payload types must be gob-registered
@@ -126,13 +175,32 @@ func (c *hubChannel) Close() error {
 }
 
 // HubServer is the TCP broadcast hub: every connected client receives
-// every published message (including its own).
+// every published message (including its own) in one total order. The
+// hub keeps an indexed log of that order so resumable clients
+// (DialHubResume) can reconnect and catch up from their last-delivered
+// index; legacy clients (DialHub) get plain fan-out as before.
 type HubServer struct {
-	lis    net.Listener
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	lis net.Listener
+
+	mu      sync.Mutex
+	log     []*hubSeq         // the total order; Idx is 1-based
+	lastPub map[uint64]uint64 // highest PubSeq logged per resumable SID
+	conns   map[*hubConn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// hubConnBuf is the per-connection outbound queue. A resumable client
+// this far behind is severed and recovers via log replay on its next
+// connection, so depth only trades memory against reconnect churn.
+const hubConnBuf = 4096
+
+// hubConn is one connected participant. The writer goroutine drains
+// out so a slow or faulty connection never blocks the hub's fan-out.
+type hubConn struct {
+	conn      net.Conn
+	out       chan any
+	resumable bool // upgraded by hubHello; set under HubServer.mu
 }
 
 // ListenHub starts a TCP hub on addr.
@@ -141,7 +209,11 @@ func ListenHub(addr string) (*HubServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("broadcast: listen %s: %w", addr, err)
 	}
-	h := &HubServer{lis: lis, conns: make(map[net.Conn]struct{})}
+	h := &HubServer{
+		lis:     lis,
+		lastPub: make(map[uint64]uint64),
+		conns:   make(map[*hubConn]struct{}),
+	}
 	h.wg.Add(1)
 	go h.acceptLoop()
 	return h, nil
@@ -157,54 +229,165 @@ func (h *HubServer) acceptLoop() {
 		if err != nil {
 			return
 		}
+		hc := &hubConn{conn: conn, out: make(chan any, hubConnBuf)}
 		h.mu.Lock()
 		if h.closed {
 			h.mu.Unlock()
 			conn.Close()
 			return
 		}
-		h.conns[conn] = struct{}{}
+		h.conns[hc] = struct{}{}
 		h.mu.Unlock()
 
 		h.wg.Add(1)
 		go func() {
 			defer h.wg.Done()
-			defer h.drop(conn)
+			for msg := range hc.out {
+				if err := wire.Write(hc.conn, msg); err != nil {
+					h.drop(hc)
+					// Keep draining so fan-out enqueues never block on a
+					// dead writer; drop closed out, so the range ends.
+				}
+			}
+			hc.conn.Close()
+		}()
+
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			defer h.drop(hc)
 			for {
 				msg, err := wire.Read(conn)
 				if err != nil {
 					return
 				}
-				h.fanout(msg)
+				switch m := msg.(type) {
+				case *hubHello:
+					h.upgrade(hc, m)
+				case *hubPub:
+					h.publishFrom(hc, m)
+				case *Message:
+					h.publishWire(0, 0, *m) // legacy publish: no dedupe possible
+				}
 			}
 		}()
 	}
 }
 
-func (h *HubServer) fanout(msg any) {
+// upgrade marks hc resumable, acks the session's publication watermark
+// and replays the log past the client's last-delivered index. Under
+// mu, so replay and subsequent fan-outs enqueue in log order.
+func (h *HubServer) upgrade(hc *hubConn, hello *hubHello) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for c := range h.conns {
-		// A write error just drops that subscriber at its next read.
-		_ = wire.Write(c, msg)
+	if _, ok := h.conns[hc]; !ok {
+		return
+	}
+	hc.resumable = true
+	if hello.SID != 0 {
+		h.enqueueFrameLocked(hc, &hubAck{LastPub: h.lastPub[hello.SID]})
+	}
+	for _, e := range h.log {
+		if e.Idx > hello.Last {
+			h.enqueueLocked(hc, e)
+		}
 	}
 }
 
-func (h *HubServer) drop(conn net.Conn) {
+// publishFrom handles a resumable client's publication and acks the
+// session's watermark back on the same connection, whether the
+// publication was logged, a duplicate, or an out-of-order straggler.
+func (h *HubServer) publishFrom(hc *hubConn, p *hubPub) {
 	h.mu.Lock()
-	delete(h.conns, conn)
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.publishLocked(p.SID, p.PubSeq, p.Msg)
+	if p.SID != 0 {
+		if _, ok := h.conns[hc]; ok {
+			h.enqueueFrameLocked(hc, &hubAck{LastPub: h.lastPub[p.SID]})
+		}
+	}
+}
+
+// publishWire appends one publication to the log (deduplicating
+// resumable resends) and fans it out. sid == 0 marks a legacy
+// publisher with no session, logged unconditionally.
+func (h *HubServer) publishWire(sid, pubSeq uint64, msg Message) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.publishLocked(sid, pubSeq, msg)
+}
+
+func (h *HubServer) publishLocked(sid, pubSeq uint64, msg Message) {
+	if sid != 0 {
+		// Log exactly the next sequence per session. Anything lower is a
+		// resend of an already-logged publication; anything higher is an
+		// out-of-order straggler from a connection that overlapped a
+		// reconnect (the old conn's in-flight frame can be processed
+		// after the new conn's resends) — dropping it is safe because
+		// the client resends every unacked publication in order. A
+		// high-water dedupe here would instead mark the skipped-over
+		// sequences as "seen" and lose them forever.
+		if pubSeq != h.lastPub[sid]+1 {
+			return
+		}
+		h.lastPub[sid] = pubSeq
+	}
+	e := &hubSeq{Idx: uint64(len(h.log)) + 1, SID: sid, PubSeq: pubSeq, Msg: msg}
+	h.log = append(h.log, e)
+	for hc := range h.conns {
+		h.enqueueLocked(hc, e)
+	}
+}
+
+// enqueueLocked queues e for hc in the connection's wire format:
+// resumable clients get the indexed entry, legacy clients the bare
+// message.
+func (h *HubServer) enqueueLocked(hc *hubConn, e *hubSeq) {
+	var frame any = e
+	if !hc.resumable {
+		frame = &e.Msg
+	}
+	h.enqueueFrameLocked(hc, frame)
+}
+
+// enqueueFrameLocked queues one raw frame. A full queue severs the
+// connection — a resumable client recovers by replay, a legacy one was
+// lost either way.
+func (h *HubServer) enqueueFrameLocked(hc *hubConn, frame any) {
+	select {
+	case hc.out <- frame:
+	default:
+		delete(h.conns, hc)
+		close(hc.out)
+		hc.conn.Close()
+	}
+}
+
+func (h *HubServer) drop(hc *hubConn) {
+	h.mu.Lock()
+	if _, ok := h.conns[hc]; ok {
+		delete(h.conns, hc)
+		close(hc.out)
+	}
 	h.mu.Unlock()
-	conn.Close()
+	hc.conn.Close()
 }
 
 // Close shuts the hub down.
 func (h *HubServer) Close() error {
 	h.mu.Lock()
 	h.closed = true
-	for c := range h.conns {
-		c.Close()
+	for hc := range h.conns {
+		close(hc.out)
+		hc.conn.Close()
 	}
-	h.conns = map[net.Conn]struct{}{}
+	h.conns = map[*hubConn]struct{}{}
 	h.mu.Unlock()
 	return h.lis.Close()
 }

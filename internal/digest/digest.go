@@ -48,6 +48,10 @@ const (
 	// DomainRecord binds a database record (key/value pair) inside a
 	// Merkle leaf.
 	DomainRecord byte = 0x07
+	// DomainSnapshot is the integrity footer over a serialized server
+	// checkpoint: it detects torn writes and bit rot on load, so a
+	// recovering server never silently starts from garbage.
+	DomainSnapshot byte = 0x08
 )
 
 // Zero is the all-zero digest.

@@ -72,6 +72,7 @@ type Client struct {
 	u3     *proto3.User
 	id     sig.UserID
 	rounds map[roundKey]*roundState
+	done   map[sig.UserID]uint64 // last completed round per initiator
 	seq    uint64
 	failed error
 	closed bool
@@ -114,6 +115,7 @@ func newClient(p server.Protocol, conn transport.Caller, bc broadcast.Channel, n
 		bc:     bc,
 		nUsers: nUsers,
 		rounds: make(map[roundKey]*roundState),
+		done:   make(map[sig.UserID]uint64),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -181,7 +183,14 @@ func (c *Client) Do(op vdb.Op) (any, error) {
 
 	ans, err := c.doOpLocked(op)
 	if err != nil {
-		c.recordFailure(err)
+		// Only detection is terminal. A transport failure (retries
+		// exhausted, server restarting) is the caller's to handle: the
+		// local state machine has not advanced, so the client remains
+		// usable once the network heals. Pinning transport errors here
+		// would turn every outage into a spurious permanent failure.
+		if _, ok := core.AsDetection(err); ok {
+			c.recordFailure(err)
+		}
 		return nil, err
 	}
 	if c.needsSyncLocked() {
@@ -311,7 +320,19 @@ func (c *Client) recvLoop() {
 func (c *Client) onSyncRequest(key roundKey) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.roundDoneLocked(key) {
+		return
+	}
 	c.publishOwnReportLocked(key)
+}
+
+// roundDoneLocked reports whether key names a round this client has
+// already completed. Reconnecting broadcast members can observe stale
+// sync traffic (a replayed announcement, a straggler report from a
+// slow peer); reopening a finished round would publish a *fresh*
+// register snapshot into it and manufacture a false mismatch.
+func (c *Client) roundDoneLocked(key roundKey) bool {
+	return key.round <= c.done[key.initiator]
 }
 
 // publishOwnReportLocked snapshots this user's registers for the round
@@ -354,6 +375,9 @@ func (c *Client) onReport(m *reportMsg) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := roundKey{m.Initiator, m.Round}
+	if c.roundDoneLocked(key) {
+		return
+	}
 	rs := c.roundLocked(key)
 	// Defensive: if a report for an unseen round arrives first (cannot
 	// happen with a FIFO hub), contribute our own as well.
@@ -385,6 +409,9 @@ func (c *Client) onReport(m *reportMsg) {
 		err = c.u2.CompleteSync(reports)
 	}
 	delete(c.rounds, key)
+	if key.round > c.done[key.initiator] {
+		c.done[key.initiator] = key.round
+	}
 	if err != nil {
 		c.recordFailure(err)
 	}

@@ -1,0 +1,244 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File is the write side of one checkpoint file: what an atomic
+// write-sync-rename persistence path actually needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the handful of filesystem operations the crash-safe
+// checkpoint path performs, so tests can interpose torn writes and
+// crashes at every step. OS is the real implementation.
+type FS interface {
+	Create(name string) (File, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	Exists(name string) (bool, error)
+	// SyncDir fsyncs the directory itself — without it, a rename can
+	// be lost on power failure even though the file data was synced.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS backed by package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) Rename(o, n string) error         { return os.Rename(o, n) }
+func (osFS) Remove(name string) error         { return os.Remove(name) }
+
+func (osFS) Exists(name string) (bool, error) {
+	_, err := os.Stat(name)
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return false, err
+}
+
+func (osFS) SyncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ErrCrashed is returned by every FaultyFS operation after the
+// simulated crash point: the process is "dead", nothing it does from
+// then on reaches the disk.
+var ErrCrashed = errors.New("fault: filesystem crashed")
+
+// FaultyFS wraps an FS and injects persistence faults at exact
+// operation indices (1-based, counted per operation type). The
+// dangerous property it simulates: everything before the crash point
+// really happened on the inner FS, nothing after it does — so a test
+// can "reboot" by reading the directory back with the plain OS FS and
+// observing exactly the torn state a power cut would leave.
+type FaultyFS struct {
+	Inner FS
+
+	// ShortWriteAt makes the Nth Write persist only half its bytes
+	// while reporting full success — a lying disk / torn page. The FS
+	// stays alive: the bug is silent until load time, which is what
+	// the snapshot checksum exists to catch.
+	ShortWriteAt uint64
+	// CrashAtWrite makes the Nth Write persist half its bytes and then
+	// crash the FS.
+	CrashAtWrite uint64
+	// CrashAtRename crashes the FS before performing the Nth Rename —
+	// the classic "temp file written and synced, rename never
+	// happened" window.
+	CrashAtRename uint64
+	// CrashAtSync crashes the FS before the Nth Sync: data may be in
+	// the page cache but was never made durable; the inner file is
+	// truncated to half to simulate the lost tail.
+	CrashAtSync uint64
+
+	mu      sync.Mutex
+	writes  uint64
+	renames uint64
+	syncs   uint64
+	crashed bool
+}
+
+// Crashed reports whether the simulated crash point has been reached.
+func (f *FaultyFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+func (f *FaultyFS) dead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+func (f *FaultyFS) inner() FS {
+	if f.Inner != nil {
+		return f.Inner
+	}
+	return OS
+}
+
+// Create opens a faulty file handle.
+func (f *FaultyFS) Create(name string) (File, error) {
+	if f.dead() {
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner().Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner}, nil
+}
+
+// Rename performs the rename unless this is the scheduled crash point.
+func (f *FaultyFS) Rename(o, n string) error {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	f.renames++
+	if f.CrashAtRename != 0 && f.renames == f.CrashAtRename {
+		f.crashed = true
+		f.mu.Unlock()
+		return fmt.Errorf("%w: before rename %s -> %s", ErrCrashed, o, n)
+	}
+	f.mu.Unlock()
+	return f.inner().Rename(o, n)
+}
+
+// Remove removes unless crashed.
+func (f *FaultyFS) Remove(name string) error {
+	if f.dead() {
+		return ErrCrashed
+	}
+	return f.inner().Remove(name)
+}
+
+// Exists checks existence unless crashed.
+func (f *FaultyFS) Exists(name string) (bool, error) {
+	if f.dead() {
+		return false, ErrCrashed
+	}
+	return f.inner().Exists(name)
+}
+
+// SyncDir syncs the directory unless crashed.
+func (f *FaultyFS) SyncDir(dir string) error {
+	if f.dead() {
+		return ErrCrashed
+	}
+	return f.inner().SyncDir(dir)
+}
+
+type faultyFile struct {
+	fs    *FaultyFS
+	inner File
+}
+
+func (w *faultyFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	if w.fs.crashed {
+		w.fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	w.fs.writes++
+	n := w.fs.writes
+	short := w.fs.ShortWriteAt != 0 && n == w.fs.ShortWriteAt
+	crash := w.fs.CrashAtWrite != 0 && n == w.fs.CrashAtWrite
+	if crash {
+		w.fs.crashed = true
+	}
+	w.fs.mu.Unlock()
+
+	switch {
+	case crash:
+		_, _ = w.inner.Write(p[:len(p)/2])
+		return 0, fmt.Errorf("%w: mid-write", ErrCrashed)
+	case short:
+		// Persist half, report success: the torn write no checksumless
+		// loader can see.
+		if _, err := w.inner.Write(p[:len(p)/2]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return w.inner.Write(p)
+}
+
+func (w *faultyFile) Sync() error {
+	w.fs.mu.Lock()
+	if w.fs.crashed {
+		w.fs.mu.Unlock()
+		return ErrCrashed
+	}
+	w.fs.syncs++
+	crash := w.fs.CrashAtSync != 0 && w.fs.syncs == w.fs.CrashAtSync
+	if crash {
+		w.fs.crashed = true
+	}
+	w.fs.mu.Unlock()
+	if crash {
+		return fmt.Errorf("%w: before sync", ErrCrashed)
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultyFile) Close() error {
+	// Close always reaches the inner file so tests do not leak
+	// descriptors; a crashed FS still reports the crash.
+	err := w.inner.Close()
+	if w.fs.dead() {
+		return ErrCrashed
+	}
+	return err
+}
+
+// Dir returns the directory of path for SyncDir, mirroring
+// filepath.Dir so persistence code need not import path/filepath.
+func Dir(path string) string { return filepath.Dir(path) }

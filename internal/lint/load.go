@@ -385,6 +385,12 @@ func defaultSlowCalls(modPath string) map[string]bool {
 		"(*%s/internal/wire.LegacyConn).Call",
 		"(*%s/internal/sig.Signer).Sign",
 		"(*%s/internal/sig.Ring).Verify",
+		// Fault-injection hooks delay, drop, or kill: consulting one
+		// inside a critical section stalls every waiter behind a
+		// deliberately induced fault.
+		"(*%s/internal/fault.Conn).Read",
+		"(*%s/internal/fault.Conn).Write",
+		"(*%s/internal/fault.Injector).Next",
 	} {
 		set[fmt.Sprintf(f, modPath)] = true
 	}

@@ -1,0 +1,31 @@
+// Package fault is a miniature of the real fault-injection hooks:
+// the slow-call set lists them so a probe cannot be re-inserted into
+// a hot-path critical section.
+package fault
+
+// Decision mirrors the real injector's verdict for one operation.
+type Decision int
+
+// Injector decides the fate of each I/O operation.
+type Injector struct{ ops uint64 }
+
+// Next consumes one decision (serialized internally, like the real one).
+func (i *Injector) Next() Decision {
+	i.ops++
+	return Decision(i.ops % 2)
+}
+
+// Conn wraps a connection with injected faults.
+type Conn struct{ inj *Injector }
+
+// Read consults the injector before touching the socket.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.inj.Next()
+	return len(p), nil
+}
+
+// Write consults the injector before touching the socket.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.inj.Next()
+	return len(p), nil
+}

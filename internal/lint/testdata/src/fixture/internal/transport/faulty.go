@@ -1,0 +1,32 @@
+// Fault-injection probes are slow calls too: lockscope must flag an
+// injector consulted inside a critical section, and stay silent when
+// the probe is hoisted out.
+package transport
+
+import (
+	"sync"
+
+	"fixture.example/internal/fault"
+)
+
+// FaultyMux gates a fault-wrapped connection behind a mutex.
+type FaultyMux struct {
+	mu  sync.Mutex
+	inj *fault.Injector
+}
+
+// Probe consults the injector inside the serial section — the
+// regression the fault entries in the slow-call set guard against.
+func (m *FaultyMux) Probe() fault.Decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inj.Next()
+}
+
+// ProbeNarrowed snapshots under the lock and decides outside it.
+func (m *FaultyMux) ProbeNarrowed() fault.Decision {
+	m.mu.Lock()
+	inj := m.inj
+	m.mu.Unlock()
+	return inj.Next()
+}

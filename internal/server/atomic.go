@@ -1,0 +1,98 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"trustedcvs/internal/fault"
+)
+
+// ErrNoSnapshot reports that no snapshot generation exists on disk at
+// all — a first boot, as opposed to a boot over corrupt checkpoints.
+var ErrNoSnapshot = errors.New("server: no snapshot on disk")
+
+// prevGeneration names the rotated previous checkpoint for path.
+func prevGeneration(path string) string { return path + ".1" }
+
+// WriteSnapshotFile atomically replaces path with a snapshot produced
+// by write, keeping the displaced file as the previous generation at
+// path+".1". The sequence is the full crash-safe litany: write to a
+// temp file, fsync it, close it, rotate, rename into place, fsync the
+// directory. A crash at any step leaves either the new snapshot, the
+// old one, or the old one under its rotated name — never a half
+// checkpoint that a restart would trust (and the checksummed frame
+// catches torn writes the rename dance cannot, e.g. a lying disk).
+//
+// fs is the filesystem to write through; pass fault.OS in production
+// and a fault.FaultyFS in crash tests. nil selects fault.OS.
+func WriteSnapshotFile(fs fault.FS, path string, write func(io.Writer) error) error {
+	if fs == nil {
+		fs = fault.OS
+	}
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("server: create %s: %w", tmp, err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("server: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("server: close %s: %w", tmp, err)
+	}
+	ok, err := fs.Exists(path)
+	if err != nil {
+		return fmt.Errorf("server: stat %s: %w", path, err)
+	}
+	if ok {
+		if err := fs.Rename(path, prevGeneration(path)); err != nil {
+			return fmt.Errorf("server: rotate %s: %w", path, err)
+		}
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return fmt.Errorf("server: install %s: %w", path, err)
+	}
+	if err := fs.SyncDir(fault.Dir(path)); err != nil {
+		return fmt.Errorf("server: sync dir of %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadP2Auto loads the newest verifiable Protocol II snapshot
+// generation: path first, then path+".1" if the current file is
+// missing (crash between rotate and install) or fails verification
+// (torn or rotted write). It returns the snapshot and the file it came
+// from; the error wraps ErrNoSnapshot when no generation exists at
+// all, and otherwise carries per-generation diagnostics.
+func LoadP2Auto(path string) (*P2Snapshot, string, error) {
+	var errs []error
+	missing := 0
+	for _, cand := range []string{path, prevGeneration(path)} {
+		f, err := os.Open(cand)
+		if err != nil {
+			if os.IsNotExist(err) {
+				missing++
+			}
+			errs = append(errs, err)
+			continue
+		}
+		snap, derr := DecodeP2Snapshot(f)
+		f.Close()
+		if derr == nil {
+			return snap, cand, nil
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", cand, derr))
+	}
+	if missing == 2 {
+		return nil, "", fmt.Errorf("%w: %s", ErrNoSnapshot, path)
+	}
+	return nil, "", fmt.Errorf("server: no loadable snapshot generation: %w", errors.Join(errs...))
+}

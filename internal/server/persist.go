@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -8,53 +10,143 @@ import (
 	"trustedcvs/internal/core/proto2"
 	"trustedcvs/internal/core/proto3"
 	"trustedcvs/internal/cvs"
+	"trustedcvs/internal/digest"
 	"trustedcvs/internal/sig"
+	"trustedcvs/internal/transport"
 	"trustedcvs/internal/vdb"
 )
 
-// P2Snapshot bundles everything a Protocol II deployment needs to
-// survive a restart: the authenticated database (with its operation
-// counter), the protocol's last-user marker, and the content store.
-// Restoring reproduces the exact root digest, so running clients —
-// whose registers commit to that root — continue seamlessly.
-type P2Snapshot struct {
-	DB       *vdb.DBSnapshot
-	LastUser sig.UserID
-	Store    *cvs.StoreSnapshot
-}
+// Snapshots are framed so a loader can tell a good checkpoint from a
+// torn or rotted one before trusting a single byte of it:
+//
+//	magic "TCVSSNAP1\n" | 8-byte big-endian payload length |
+//	gob payload | 32-byte digest footer
+//
+// The footer is the domain-separated hash of the payload. A crash mid
+// write leaves a file that fails the length or footer check; recovery
+// then falls back to the previous generation instead of silently
+// restoring garbage — which, for this system, would not just corrupt
+// data but raise deviation alarms on every running client.
+const snapMagic = "TCVSSNAP1\n"
 
-// SaveP2 writes a Protocol II server's full state. srv must be an
-// honest Protocol II server created by NewP2.
-func SaveP2(w io.Writer, srv Server, store *cvs.Store) error {
-	p2srv, ok := srv.(*p2)
-	if !ok {
-		return fmt.Errorf("server: SaveP2 needs an honest Protocol II server, got %v", srv.Protocol())
+// maxSnapshotBytes bounds the declared payload length so a corrupt
+// header cannot demand an absurd allocation before the footer check
+// gets a chance to reject it.
+const maxSnapshotBytes = 1 << 30
+
+// writeChecksummed frames one gob-encoded payload.
+func writeChecksummed(w io.Writer, payload []byte) error {
+	if _, err := io.WriteString(w, snapMagic); err != nil {
+		return fmt.Errorf("server: write snapshot magic: %w", err)
 	}
-	storeSnap, err := store.Snapshot()
-	if err != nil {
-		return err
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(payload)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("server: write snapshot length: %w", err)
 	}
-	// Checkpoint captures (db, lastUser) at one point of the operation
-	// order; the snapshot walk runs on the O(1) fork so a live,
-	// pipelined server keeps serving while its state is written out.
-	dbAt, lastUser := p2srv.inner.Checkpoint()
-	snap := &P2Snapshot{
-		DB:       dbAt.Snapshot(),
-		LastUser: lastUser,
-		Store:    storeSnap,
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("server: write snapshot payload: %w", err)
 	}
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
-		return fmt.Errorf("server: encode snapshot: %w", err)
+	sum := digest.OfBytes(digest.DomainSnapshot, payload)
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("server: write snapshot footer: %w", err)
 	}
 	return nil
 }
 
-// LoadP2 restores a Protocol II server and content store.
-func LoadP2(r io.Reader) (Server, *cvs.Store, error) {
-	var snap P2Snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, nil, fmt.Errorf("server: decode snapshot: %w", err)
+// readChecksummed reads one framed payload and verifies its footer.
+func readChecksummed(r io.Reader) ([]byte, error) {
+	header := make([]byte, len(snapMagic)+8)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("server: snapshot header: %w", err)
 	}
+	if string(header[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("server: bad snapshot magic %q", header[:len(snapMagic)])
+	}
+	n := binary.BigEndian.Uint64(header[len(snapMagic):])
+	if n > maxSnapshotBytes {
+		return nil, fmt.Errorf("server: snapshot declares implausible payload length %d", n)
+	}
+	// Copy rather than pre-allocate n bytes: a corrupt length field must
+	// not buy a giant allocation backed by nothing.
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return nil, fmt.Errorf("server: snapshot payload truncated: %w", err)
+	}
+	payload := buf.Bytes()
+	var footer digest.Digest
+	if _, err := io.ReadFull(r, footer[:]); err != nil {
+		return nil, fmt.Errorf("server: snapshot footer truncated: %w", err)
+	}
+	if sum := digest.OfBytes(digest.DomainSnapshot, payload); sum != footer {
+		return nil, fmt.Errorf("server: snapshot checksum mismatch: footer %s, payload hashes to %s", footer.Short(), sum.Short())
+	}
+	return payload, nil
+}
+
+// P2Snapshot bundles everything a Protocol II deployment needs to
+// survive a restart: the authenticated database (with its operation
+// counter), the protocol's last-user marker, the content store, and —
+// when the transport runs a session table — the cached per-session
+// outcomes. Restoring reproduces the exact root digest, so running
+// clients — whose registers commit to that root — continue seamlessly,
+// and restored session state lets their in-flight retries replay
+// instead of double-applying.
+type P2Snapshot struct {
+	DB       *vdb.DBSnapshot
+	LastUser sig.UserID
+	Store    *cvs.StoreSnapshot
+	Sessions *transport.SessionsSnapshot
+}
+
+// CheckpointP2 captures a Protocol II server's state. The capture
+// itself is O(1) on the live structures (the database walk runs on a
+// copy-on-write fork during encoding), so calling it inside a
+// transport quiesce window — transport.SessionTable.Freeze — is cheap;
+// that is how (db, sessions) become one consistent cut.
+func CheckpointP2(srv Server, store *cvs.Store) (*P2Snapshot, error) {
+	p2srv, ok := srv.(*p2)
+	if !ok {
+		return nil, fmt.Errorf("server: CheckpointP2 needs an honest Protocol II server, got %v", srv.Protocol())
+	}
+	storeSnap, err := store.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	dbAt, lastUser := p2srv.inner.Checkpoint()
+	return &P2Snapshot{
+		DB:       dbAt.Snapshot(),
+		LastUser: lastUser,
+		Store:    storeSnap,
+	}, nil
+}
+
+// EncodeP2Snapshot writes snap in the checksummed frame.
+func EncodeP2Snapshot(w io.Writer, snap *P2Snapshot) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return fmt.Errorf("server: encode snapshot: %w", err)
+	}
+	return writeChecksummed(w, buf.Bytes())
+}
+
+// DecodeP2Snapshot reads and verifies one framed Protocol II snapshot.
+func DecodeP2Snapshot(r io.Reader) (*P2Snapshot, error) {
+	payload, err := readChecksummed(r)
+	if err != nil {
+		return nil, err
+	}
+	var snap P2Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("server: decode snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// RestoreP2 rebuilds the server and content store from a decoded
+// snapshot. Session state, if present, is the caller's to feed into
+// its transport table (transport.SessionTable.RestoreSessions).
+func RestoreP2(snap *P2Snapshot) (Server, *cvs.Store, error) {
 	db, err := vdb.RestoreDB(snap.DB)
 	if err != nil {
 		return nil, nil, err
@@ -64,6 +156,27 @@ func LoadP2(r io.Reader) (Server, *cvs.Store, error) {
 		return nil, nil, err
 	}
 	return &p2{inner: proto2.NewServerAt(db, snap.LastUser)}, store, nil
+}
+
+// SaveP2 writes a Protocol II server's full state (without session
+// state — use CheckpointP2 + EncodeP2Snapshot under a transport freeze
+// for that). srv must be an honest Protocol II server created by
+// NewP2.
+func SaveP2(w io.Writer, srv Server, store *cvs.Store) error {
+	snap, err := CheckpointP2(srv, store)
+	if err != nil {
+		return err
+	}
+	return EncodeP2Snapshot(w, snap)
+}
+
+// LoadP2 restores a Protocol II server and content store.
+func LoadP2(r io.Reader) (Server, *cvs.Store, error) {
+	snap, err := DecodeP2Snapshot(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return RestoreP2(snap)
 }
 
 // P3Snapshot bundles a Protocol III deployment's full state: the
@@ -91,16 +204,21 @@ func SaveP3(w io.Writer, srv Server, store *cvs.Store) error {
 		State: state,
 		Store: storeSnap,
 	}
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
 		return fmt.Errorf("server: encode snapshot: %w", err)
 	}
-	return nil
+	return writeChecksummed(w, buf.Bytes())
 }
 
 // LoadP3 restores a Protocol III server and content store.
 func LoadP3(r io.Reader) (Server, *cvs.Store, error) {
+	payload, err := readChecksummed(r)
+	if err != nil {
+		return nil, nil, err
+	}
 	var snap P3Snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
 		return nil, nil, fmt.Errorf("server: decode snapshot: %w", err)
 	}
 	db, err := vdb.RestoreDB(snap.DB)

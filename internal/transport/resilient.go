@@ -1,0 +1,201 @@
+package transport
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"trustedcvs/internal/wire"
+)
+
+// RetryPolicy bounds the self-healing behavior of a ResilientClient.
+// The zero value selects the defaults noted per field.
+type RetryPolicy struct {
+	// CallTimeout is the per-attempt deadline covering dial, write and
+	// read of one request (default 10s).
+	CallTimeout time.Duration
+	// MaxAttempts is the total tries per Call, first attempt included
+	// (default 8).
+	MaxAttempts int
+	// BackoffMin/BackoffMax bound the exponential backoff between
+	// attempts (defaults 10ms and 2s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.CallTimeout <= 0 {
+		p.CallTimeout = 10 * time.Second
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BackoffMin <= 0 {
+		p.BackoffMin = 10 * time.Millisecond
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = 2 * time.Second
+	}
+	return p
+}
+
+// ResilientClient is a Caller that survives connection loss: each Call
+// is wrapped in a wire.SessionRequest and retried across automatic
+// reconnects with bounded exponential backoff until the server
+// *delivers* an answer. Delivery, not success: an application-level
+// error (wire.ErrRemote) is returned immediately — the server applied
+// or rejected the request, retrying would double-apply it. Only
+// transport failures (reset, timeout, truncation, dial refusal) are
+// retried, and the server's session table makes those retries
+// exactly-once.
+//
+// The peer must be a session-aware transport.Server (ServerOpts with a
+// SessionTable, the post-recovery default).
+type ResilientClient struct {
+	dial func() (net.Conn, error)
+	pol  RetryPolicy
+
+	mu     sync.Mutex
+	conn   net.Conn
+	wc     *wire.Conn
+	gen    uint64 // bumped per (re)connect so stale failures don't kill a fresh conn
+	sid    uint64
+	seq    uint64
+	closed bool
+
+	reconnects uint64
+}
+
+// DialResilient returns a resilient client for addr with policy pol
+// (zero value = defaults).
+func DialResilient(addr string, pol RetryPolicy) *ResilientClient {
+	return DialResilientFunc(func() (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, pol.withDefaults().CallTimeout)
+	}, pol)
+}
+
+// DialResilientFunc is DialResilient over a custom dialer — how the
+// fault harness interposes flaky connections.
+func DialResilientFunc(dial func() (net.Conn, error), pol RetryPolicy) *ResilientClient {
+	return &ResilientClient{dial: dial, pol: pol.withDefaults(), sid: newSID()}
+}
+
+// newSID draws a random nonzero session id.
+func newSID() uint64 {
+	var b [8]byte
+	for {
+		if _, err := crand.Read(b[:]); err != nil {
+			//lint:ignore panicfree entropy exhaustion is unrecoverable and not attacker-triggerable; no request bytes are parsed here
+			panic(fmt.Sprintf("transport: session id entropy: %v", err))
+		}
+		if id := binary.BigEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+}
+
+// Reconnects reports how many times the client has had to redial.
+func (c *ResilientClient) Reconnects() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// ensure returns a live connection and its generation, dialing if
+// needed. The dial happens under mu; that is acceptable because no
+// request I/O is in flight on this client while it has no connection.
+func (c *ResilientClient) ensure() (net.Conn, *wire.Conn, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, nil, 0, errors.New("transport: client closed")
+	}
+	if c.conn != nil {
+		return c.conn, c.wc, c.gen, nil
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	c.conn, c.wc = conn, wire.NewConn(conn)
+	c.gen++
+	if c.gen > 1 {
+		c.reconnects++
+	}
+	return c.conn, c.wc, c.gen, nil
+}
+
+// drop discards the connection of generation gen, if it is still the
+// current one (a concurrent Call may already have replaced it).
+func (c *ResilientClient) drop(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen == gen && c.conn != nil {
+		c.conn.Close()
+		c.conn, c.wc = nil, nil
+	}
+}
+
+// Call implements Caller with at-most-once application semantics: the
+// same (SID, Seq) is presented on every retry, so the server either
+// applies the request once and replays the cached response, or reports
+// a transport failure that provably did not reach application.
+func (c *ResilientClient) Call(req any) (any, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("transport: client closed")
+	}
+	c.seq++
+	sreq := &wire.SessionRequest{SID: c.sid, Seq: c.seq, Req: req}
+	c.mu.Unlock()
+
+	backoff := c.pol.BackoffMin
+	var lastErr error
+	for attempt := 0; attempt < c.pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > c.pol.BackoffMax {
+				backoff = c.pol.BackoffMax
+			}
+		}
+		conn, wc, gen, err := c.ensure()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// The per-call deadline covers the whole round trip; network I/O
+		// runs outside mu so concurrent Calls pipeline on one connection.
+		_ = conn.SetDeadline(time.Now().Add(c.pol.CallTimeout))
+		resp, err := wc.Call(sreq)
+		if err == nil {
+			_ = conn.SetDeadline(time.Time{})
+			return resp, nil
+		}
+		if errors.Is(err, wire.ErrRemote) {
+			// Delivered: the handler's verdict came back. Not a fault.
+			_ = conn.SetDeadline(time.Time{})
+			return nil, err
+		}
+		lastErr = err
+		c.drop(gen)
+	}
+	return nil, fmt.Errorf("transport: call failed after %d attempts: %w", c.pol.MaxAttempts, lastErr)
+}
+
+// Close implements Caller.
+func (c *ResilientClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn, c.wc = nil, nil
+		return err
+	}
+	return nil
+}

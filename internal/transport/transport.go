@@ -7,6 +7,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -46,11 +47,30 @@ type Options struct {
 	// a flood of connections from piling up in the protocol servers'
 	// ordered sections.
 	MaxConcurrent int
+	// IdleTimeout severs a connection whose next request does not
+	// arrive in time, so a stalled client cannot pin a serving
+	// goroutine forever (0 = DefaultIdleTimeout, negative = disabled).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write (0 = DefaultWriteTimeout,
+	// negative = disabled).
+	WriteTimeout time.Duration
+	// Sessions, when set, deduplicates wire.SessionRequest envelopes
+	// through the table before the handler — the server half of the
+	// resilient client's exactly-once retry contract. Plain requests
+	// bypass the table untouched.
+	Sessions *SessionTable
 }
 
 // DefaultMaxConcurrent is the handler concurrency bound when
 // Options.MaxConcurrent is zero.
 const DefaultMaxConcurrent = 64
+
+// DefaultIdleTimeout and DefaultWriteTimeout apply when the
+// corresponding Options field is zero.
+const (
+	DefaultIdleTimeout  = 5 * time.Minute
+	DefaultWriteTimeout = 1 * time.Minute
+)
 
 // Inproc is an in-process Caller invoking a handler directly.
 type Inproc struct {
@@ -93,10 +113,13 @@ type Server struct {
 
 	serialMu sync.Mutex // only taken when opts.Serial
 
-	mu     sync.Mutex // guards conns
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
-	closed chan struct{}
+	mu       sync.Mutex // guards conns, draining, inflight
+	conns    map[net.Conn]struct{}
+	draining bool
+	inflight int
+	drained  chan struct{} // closed when draining && inflight == 0
+	wg       sync.WaitGroup
+	closed   chan struct{}
 }
 
 // Listen starts a server on addr ("127.0.0.1:0" picks a free port)
@@ -111,6 +134,13 @@ func ListenOpts(addr string, h Handler, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
+	return ServeListener(lis, h, opts), nil
+}
+
+// ServeListener starts a server over an existing listener — how the
+// fault harness interposes a fault.Listener, and how a recovering
+// process rebinds its old address before restoring state.
+func ServeListener(lis net.Listener, h Handler, opts Options) *Server {
 	max := opts.MaxConcurrent
 	if max <= 0 {
 		max = DefaultMaxConcurrent
@@ -121,12 +151,16 @@ func ListenOpts(addr string, h Handler, opts Options) (*Server, error) {
 		opts:    opts,
 		sem:     make(chan struct{}, max),
 		conns:   make(map[net.Conn]struct{}),
+		drained: make(chan struct{}),
 		closed:  make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
+
+// Sessions returns the server's session table (nil if not configured).
+func (s *Server) Sessions() *SessionTable { return s.opts.Sessions }
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.lis.Addr().String() }
@@ -173,21 +207,105 @@ func (s *Server) acceptLoop() {
 			if s.opts.CompatCodec {
 				serve = wire.ServeLegacy
 			}
-			_ = serve(conn, s.dispatch)
+			_ = serve(s.withDeadlines(conn), s.dispatch)
 		}()
 	}
 }
 
+// withDeadlines wraps conn so every blocking Read carries the idle
+// timeout and every Write the write timeout. Stalled or vanished
+// clients then cost one timeout, not a goroutine forever.
+func (s *Server) withDeadlines(conn net.Conn) io.ReadWriter {
+	idle := s.opts.IdleTimeout
+	if idle == 0 {
+		idle = DefaultIdleTimeout
+	}
+	write := s.opts.WriteTimeout
+	if write == 0 {
+		write = DefaultWriteTimeout
+	}
+	return &deadlineConn{conn: conn, idle: idle, write: write}
+}
+
+// deadlineConn arms a fresh deadline before each I/O so timeouts are
+// per-operation (idle gap, single write), not per-connection-lifetime.
+type deadlineConn struct {
+	conn  net.Conn
+	idle  time.Duration
+	write time.Duration
+}
+
+func (d *deadlineConn) Read(p []byte) (int, error) {
+	if d.idle > 0 {
+		if err := d.conn.SetReadDeadline(time.Now().Add(d.idle)); err != nil {
+			return 0, err
+		}
+	}
+	return d.conn.Read(p)
+}
+
+func (d *deadlineConn) Write(p []byte) (int, error) {
+	if d.write > 0 {
+		if err := d.conn.SetWriteDeadline(time.Now().Add(d.write)); err != nil {
+			return 0, err
+		}
+	}
+	return d.conn.Write(p)
+}
+
 // dispatch runs one request through the handler under the concurrency
-// bound (and, in Serial mode, the global baseline lock).
+// bound (and, in Serial mode, the global baseline lock). Session
+// envelopes route through the dedupe table when configured. During a
+// graceful shutdown's drain window new requests are refused while
+// in-flight ones complete.
 func (s *Server) dispatch(req any) (any, error) {
+	if err := s.beginReq(); err != nil {
+		return nil, err
+	}
+	defer s.endReq()
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
+	if sr, ok := req.(*wire.SessionRequest); ok && s.opts.Sessions != nil {
+		return s.opts.Sessions.Dispatch(sr, s.handleOne)
+	}
+	if sr, ok := req.(*wire.SessionRequest); ok {
+		// No table: honor the envelope without dedupe so a resilient
+		// client still works against a plain server (retries then rely
+		// on the protocol's own detection, as documented in DESIGN.md).
+		return s.handleOne(sr.Req)
+	}
+	return s.handleOne(req)
+}
+
+func (s *Server) handleOne(req any) (any, error) {
 	if s.opts.Serial {
 		s.serialMu.Lock()
 		defer s.serialMu.Unlock()
 	}
 	return s.handler(req)
+}
+
+func (s *Server) beginReq() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errors.New("transport: server shutting down")
+	}
+	s.inflight++
+	return nil
+}
+
+func (s *Server) endReq() {
+	s.mu.Lock()
+	s.inflight--
+	if s.draining && s.inflight == 0 {
+		select {
+		case <-s.drained:
+		default:
+			close(s.drained)
+		}
+	}
+	s.mu.Unlock()
 }
 
 func (s *Server) track(conn net.Conn) bool {
@@ -207,6 +325,32 @@ func (s *Server) untrack(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
+}
+
+// Shutdown is the graceful variant of Close: it stops admitting new
+// requests, waits up to drain for in-flight handler calls to complete
+// (so their responses reach the clients), then severs everything via
+// Close. A zero or negative drain degrades to an immediate Close.
+func (s *Server) Shutdown(drain time.Duration) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.inflight == 0 {
+		select {
+		case <-s.drained:
+		default:
+			close(s.drained)
+		}
+	}
+	s.mu.Unlock()
+	if drain > 0 {
+		timer := time.NewTimer(drain)
+		select {
+		case <-s.drained:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+	return s.Close()
 }
 
 // Close stops accepting, severs open client connections, and waits for

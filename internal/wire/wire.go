@@ -55,8 +55,45 @@ type ErrorReply struct {
 	Msg string
 }
 
+// ErrRemote marks an error that was *delivered by the server* as an
+// ErrorReply — the request reached the handler and was answered.
+// Resilient clients must not retry these: the failure is the
+// application's verdict, not the network's. Transport-level failures
+// (reset, timeout, truncation) never carry this mark.
+var ErrRemote = errors.New("wire: remote error")
+
+// remoteError converts a received ErrorReply into an error wrapping
+// ErrRemote while preserving the server's message text (callers match
+// on substrings of it).
+func remoteError(e *ErrorReply) error {
+	return fmt.Errorf("wire: server: %s%w", e.Msg, errMarker{})
+}
+
+// errMarker splices ErrRemote into a formatted error without altering
+// its message text.
+type errMarker struct{}
+
+func (errMarker) Error() string { return "" }
+func (errMarker) Is(target error) bool {
+	return target == ErrRemote
+}
+
+// SessionRequest is the at-most-once envelope a resilient client wraps
+// around every request. SID identifies the client session (a random
+// nonzero 64-bit nonce), Seq increments per logical call. A
+// session-aware server deduplicates on (SID, Seq): a retried request
+// whose original reached the handler gets the cached response instead
+// of a second application — the property that makes retry safe for
+// non-idempotent protocol operations.
+type SessionRequest struct {
+	SID uint64
+	Seq uint64
+	Req any
+}
+
 func init() {
 	gob.Register(&ErrorReply{})
+	gob.Register(&SessionRequest{})
 }
 
 // bufPool recycles frame-assembly buffers for the self-contained path
@@ -307,7 +344,7 @@ func (c *Conn) Call(req any) (any, error) {
 		return nil, err
 	}
 	if e, ok := resp.(*ErrorReply); ok {
-		return nil, fmt.Errorf("wire: server: %s", e.Msg)
+		return nil, remoteError(e)
 	}
 	return resp, nil
 }
@@ -349,7 +386,7 @@ func (c *LegacyConn) Call(req any) (any, error) {
 		return nil, err
 	}
 	if e, ok := resp.(*ErrorReply); ok {
-		return nil, fmt.Errorf("wire: server: %s", e.Msg)
+		return nil, remoteError(e)
 	}
 	return resp, nil
 }

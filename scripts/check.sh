@@ -3,9 +3,11 @@
 # commit: formatting, vet, build, the repo's own invariant analyzer
 # (tcvs-lint: hash discipline, lock narrowness, deterministic
 # verification paths, checked errors, panic-free handlers), the whole
-# test suite under the race detector (the pipelined server hot path is
-# only trustworthy race-clean), and a fuzz smoke over the three
-# untrusted-input surfaces (wire frames, verification objects, diffs).
+# test suite under the race detector (the pipelined server hot path
+# and the fault/recovery suite — kill/restart, reconnect, resume — are
+# only trustworthy race-clean), and a fuzz smoke over the four
+# untrusted-input surfaces (wire frames, verification objects, diffs,
+# snapshot files read back from disk).
 set -eux
 cd "$(dirname "$0")/.."
 
@@ -19,7 +21,12 @@ go vet ./...
 go build ./...
 go run ./cmd/tcvs-lint ./...
 go test -race ./...
+# The full race run above already includes the fault suite; this named
+# pass keeps the PR's acceptance scenario (kill/restart a live server
+# mid-workload over faulty connections) one command away.
+go test -race -run 'Fault|Resilient|Resume|Recovery|E14' ./internal/fault ./internal/transport ./internal/broadcast ./internal/server ./internal/bench
 
 go test -run='^$' -fuzz='^FuzzFrameDecode$' -fuzztime=10s ./internal/wire
 go test -run='^$' -fuzz='^FuzzVOVerify$' -fuzztime=10s ./internal/merkle
 go test -run='^$' -fuzz='^FuzzDiffPatch$' -fuzztime=10s ./internal/diff
+go test -run='^$' -fuzz='^FuzzSnapshotLoad$' -fuzztime=10s ./internal/server

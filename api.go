@@ -70,6 +70,12 @@ type (
 	// requires ClusterConfig.JournalCap).
 	ForensicsReport = forensics.Report
 
+	// Evidence is a self-authenticating proof of server equivocation:
+	// two signed commitments that cannot both belong to one honest
+	// history (Cluster.WitnessEvidence; requires
+	// ClusterConfig.Witnesses).
+	Evidence = forensics.Evidence
+
 	// Workspace is a verified working copy (Repo.Workspace): a local
 	// directory with tracked base revisions, status, three-way-merge
 	// update, and atomic commits.
@@ -102,6 +108,7 @@ const (
 	SyncMismatch      = core.SyncMismatch
 	EpochViolation    = core.EpochViolation
 	ProtocolViolation = core.ProtocolViolation
+	WitnessDivergence = core.WitnessDivergence
 )
 
 // AsDetection extracts a DetectionError from an error chain, reporting

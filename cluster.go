@@ -16,6 +16,7 @@ import (
 	"trustedcvs/internal/sig"
 	"trustedcvs/internal/transport"
 	"trustedcvs/internal/vdb"
+	"trustedcvs/internal/witness"
 	"trustedcvs/internal/workspace"
 )
 
@@ -41,6 +42,16 @@ type ClusterConfig struct {
 	JournalCap int
 	// Malice makes the server misbehave (demos and tests).
 	Malice Malice
+	// Witnesses runs this many in-process witness nodes in a full
+	// gossip mesh. The server publishes signed root commitments to all
+	// of them, and every client cross-checks the roots it verified
+	// against the witness quorum before acknowledging a sync round; a
+	// divergence is a detection (witness-divergence) backed by a signed
+	// evidence bundle. 0 disables witnessing.
+	Witnesses int
+	// CommitEvery is the commitment cadence in operations (0 = the
+	// witness package default).
+	CommitEvery uint64
 	// Network, when true, runs the server, hub and clients over real
 	// TCP sockets on localhost instead of in-process transports.
 	Network bool
@@ -58,6 +69,9 @@ type Cluster struct {
 	tcpHub  *broadcast.HubServer
 	clients []*driver.Client
 	repos   []*cvs.Client
+
+	witnesses []*witness.Node
+	publisher *witness.Publisher
 }
 
 // NewLocalCluster builds a cluster per cfg.
@@ -99,6 +113,38 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 
 	c := &Cluster{cfg: cfg, srv: srv}
+	if cfg.Witnesses > 0 {
+		wid, err := witness.NewIdentity("primary")
+		if err != nil {
+			return nil, err
+		}
+		pub := witness.NewPublisher(wid, cfg.CommitEvery)
+		for i := 0; i < cfg.Witnesses; i++ {
+			c.witnesses = append(c.witnesses, witness.NewNode(fmt.Sprintf("witness-%d", i), 0))
+		}
+		for i, n := range c.witnesses {
+			n.Pin(wid.Name(), wid.Public())
+			for j, peer := range c.witnesses {
+				if j == i {
+					continue
+				}
+				p := peer
+				n.AddPeer(p.Name(), func() (transport.Caller, error) {
+					return transport.NewInproc(p.Handler()), nil
+				})
+			}
+			nn := n
+			pub.AddWitness(nn.Name(), func() (transport.Caller, error) {
+				return transport.NewInproc(nn.Handler()), nil
+			})
+		}
+		c.publisher = pub
+		// The hook sits outside the adversary wrapper: a server that
+		// starts lying still publishes commitments for the history it
+		// serves, which is exactly what the witnesses convict.
+		srv = server.WithOpHook(srv, pub.OpApplied)
+		c.srv = srv
+	}
 	handler := driver.NewHandler(srv, cvs.NewStore())
 
 	dial := func() (transport.Caller, error) { return transport.NewInproc(handler), nil }
@@ -150,7 +196,21 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 			dc = driver.NewP2(u, conn, bc, cfg.Users)
 		case ProtocolIII:
-			dc = driver.NewP3(proto3.NewUser(signers[i], ring, db.Root()), conn)
+			u := proto3.NewUser(signers[i], ring, db.Root())
+			if cfg.JournalCap > 0 {
+				u.EnableJournal(cfg.JournalCap)
+			}
+			dc = driver.NewP3(u, conn)
+		}
+		if c.publisher != nil {
+			chk := witness.NewCheck("primary", c.publisher.Identity().Public(), 0)
+			for _, n := range c.witnesses {
+				nn := n
+				chk.AddWitness(nn.Name(), func() (transport.Caller, error) {
+					return transport.NewInproc(nn.Handler()), nil
+				})
+			}
+			dc.SetWitnessCheck(chk)
 		}
 		c.clients = append(c.clients, dc)
 		c.repos = append(c.repos, cvs.NewClient(dc, dc, fmt.Sprintf("user%d", i), nil))
@@ -210,6 +270,47 @@ func (c *Cluster) Forensics() *ForensicsReport {
 		return nil
 	}
 	return forensics.Locate(js)
+}
+
+// GossipWitnesses runs one push-pull gossip round on every witness
+// node. With a full mesh, one round converges the witnesses' views —
+// a fork split across disjoint witness subsets surfaces as evidence
+// here.
+func (c *Cluster) GossipWitnesses() error {
+	var first error
+	for _, n := range c.witnesses {
+		if err := n.GossipOnce(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WitnessEvidence returns the merged, verified evidence bundles held
+// by all witness nodes (empty when the server has been honest).
+func (c *Cluster) WitnessEvidence() []*forensics.Evidence {
+	var all []*forensics.Evidence
+	for _, n := range c.witnesses {
+		all = forensics.MergeEvidence(all, n.Evidence()...)
+	}
+	return all
+}
+
+// CommitHead forces a commitment at the server's current head and
+// waits for delivery — used before a witness check when the cadence
+// has not fired yet.
+func (c *Cluster) CommitHead() {
+	if c.publisher == nil {
+		return
+	}
+	c.publisher.CommitNow(c.srv.DB().Head())
+	c.publisher.Flush()
+}
+
+// VerifyWitnesses runs user i's witness cross-check immediately
+// (Protocol III clients have no sync round to piggyback on).
+func (c *Cluster) VerifyWitnesses(i int) error {
+	return c.clients[i].VerifyWitnesses()
 }
 
 // ServerAddr returns the TCP server address (Network clusters only).

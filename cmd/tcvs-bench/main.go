@@ -1,4 +1,4 @@
-// Command tcvs-bench regenerates the experiment tables E1–E14 (see
+// Command tcvs-bench regenerates the experiment tables E1–E15 (see
 // DESIGN.md §2 for the mapping to the paper's figures, theorems and
 // design claims, and EXPERIMENTS.md for recorded results).
 //
@@ -8,6 +8,7 @@
 //	tcvs-bench -e E2      # one experiment
 //	tcvs-bench -e E13     # concurrency benchmark; also writes BENCH_E13.json
 //	tcvs-bench -e E14     # fault/recovery experiment; writes BENCH_E14.json
+//	tcvs-bench -e E15     # witness replication/failover; writes BENCH_E15.json
 package main
 
 import (
@@ -20,8 +21,8 @@ import (
 )
 
 func main() {
-	var e = flag.String("e", "all", "experiment to run: E1..E14 or all")
-	var out = flag.String("o", "", "output path for E13/E14's JSON record (default BENCH_<ID>.json)")
+	var e = flag.String("e", "all", "experiment to run: E1..E15 or all")
+	var out = flag.String("o", "", "output path for E13/E14/E15's JSON record (default BENCH_<ID>.json)")
 	flag.Parse()
 
 	if *e == "all" {
@@ -30,18 +31,21 @@ func main() {
 		}
 		return
 	}
-	// E13 and E14 run through their Run functions so the raw data can
-	// be recorded alongside the rendered table.
-	if *e == "E13" || *e == "E14" {
+	// E13–E15 run through their Run functions so the raw data can be
+	// recorded alongside the rendered table.
+	if *e == "E13" || *e == "E14" || *e == "E15" {
 		var d interface {
 			Table() *bench.Table
 			WriteJSON(w io.Writer) error
 		}
 		var err error
-		if *e == "E13" {
+		switch *e {
+		case "E13":
 			d, err = bench.RunE13(bench.DefaultE13Config())
-		} else {
+		case "E14":
 			d, err = bench.RunE14(bench.DefaultE14Config())
+		default:
+			d, err = bench.RunE15(bench.DefaultE15Config())
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", *e, err)
@@ -67,7 +71,7 @@ func main() {
 	}
 	run, ok := bench.ByID(*e)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E14 or all)\n", *e)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E15 or all)\n", *e)
 		os.Exit(2)
 	}
 	run().Render(os.Stdout)

@@ -12,6 +12,13 @@
 //
 //	tcvs-server -addr :7070 -hub :7071 -proto 2
 //	tcvs-server -addr :7070 -proto 2 -behavior fork -trigger 5 -group-b 1,2
+//
+// Witness replication: -witnesses makes the primary publish signed
+// epoch root commitments to remote witness nodes; -witness runs this
+// process as one of those witnesses instead:
+//
+//	tcvs-server -witness -addr :7072 -peers :7073,:7074
+//	tcvs-server -addr :7070 -witnesses :7072,:7073,:7074 -commit-every 8
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"trustedcvs/internal/sig"
 	"trustedcvs/internal/transport"
 	"trustedcvs/internal/vdb"
+	"trustedcvs/internal/witness"
 )
 
 func main() {
@@ -54,8 +62,20 @@ func main() {
 		target   = flag.Uint("target", 0, "victim user for replay-stale / withhold-backup")
 		dataFile = flag.String("data", "", "persistence file (protocol 2 only): loaded at start, saved periodically")
 		saveIvl  = flag.Duration("save-interval", 30*time.Second, "how often to persist -data")
+
+		witnessMode = flag.Bool("witness", false, "run as a witness node instead of the primary")
+		witnessName = flag.String("witness-name", "", "witness node name (default derived from -addr)")
+		peers       = flag.String("peers", "", "comma-separated peer witness addresses to gossip with (-witness mode)")
+		gossipIvl   = flag.Duration("gossip-interval", 2*time.Second, "gossip round cadence (-witness mode)")
+		witnesses   = flag.String("witnesses", "", "comma-separated witness addresses the primary publishes signed root commitments to")
+		commitEvery = flag.Uint64("commit-every", 0, "commitment cadence in operations (0 = default)")
 	)
 	flag.Parse()
+
+	if *witnessMode {
+		runWitness(*addr, *witnessName, *peers, *gossipIvl)
+		return
+	}
 
 	p, err := server.ParseProtocol(*proto)
 	if err != nil {
@@ -110,6 +130,29 @@ func main() {
 		}
 		srv = adversary.Wrap(honest, cfg)
 		log.Printf("WARNING: running MALICIOUSLY: %s (trigger op %d)", *behavior, *trigger)
+	}
+
+	if *witnesses != "" {
+		wid, err := witness.NewIdentity("primary")
+		if err != nil {
+			log.Fatal(err)
+		}
+		pub := witness.NewPublisher(wid, *commitEvery)
+		count := 0
+		for _, w := range strings.Split(*witnesses, ",") {
+			w = strings.TrimSpace(w)
+			if w == "" {
+				continue
+			}
+			wa := w
+			pub.AddWitness(wa, func() (transport.Caller, error) { return transport.Dial(wa) })
+			count++
+		}
+		if count == 0 {
+			log.Fatal("-witnesses given but no usable address")
+		}
+		srv = server.WithOpHook(srv, pub.OpApplied)
+		log.Printf("publishing root commitments to %d witnesses", count)
 	}
 
 	if p == server.P3 {
@@ -173,6 +216,46 @@ func main() {
 		}
 		log.Printf("state saved to %s", *dataFile)
 	}
+}
+
+// runWitness serves the witness wire protocol: it records the
+// primary's signed commitments, gossips with its peers so forks split
+// across disjoint witness subsets surface within one round, and holds
+// the newest validated checkpoint for promotion.
+func runWitness(addr, name, peers string, gossipIvl time.Duration) {
+	if name == "" {
+		name = "witness@" + addr
+	}
+	n := witness.NewNode(name, 0)
+	for _, p := range strings.Split(peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		pa := p
+		n.AddPeer(pa, func() (transport.Caller, error) { return transport.Dial(pa) })
+	}
+	ts, err := transport.Listen(addr, n.Handler())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("tcvs-server witness %q listening on %s", name, ts.Addr())
+	if peers != "" {
+		go func() {
+			for range time.Tick(gossipIvl) {
+				if err := n.GossipOnce(); err != nil {
+					log.Printf("gossip: %v", err)
+				}
+				if evs := n.Evidence(); len(evs) > 0 {
+					log.Printf("ALARM: holding %d evidence bundle(s) of primary equivocation", len(evs))
+				}
+			}
+		}()
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	<-sigc
+	ts.Close()
 }
 
 // saveState persists the Protocol II server + store + session cache as

@@ -29,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"trustedcvs/internal/backoff"
 	"trustedcvs/internal/broadcast"
 	"trustedcvs/internal/core"
 	"trustedcvs/internal/core/proto1"
@@ -359,11 +360,12 @@ func dispatch(repo *cvs.Client, client *driver.Client, args []string) error {
 		_ = fs.Parse(rest)
 		fmt.Printf("online for %v, serving sync rounds...\n", *d)
 		deadline := time.Now().Add(*d)
+		poll := backoff.Poll(200 * time.Millisecond)
 		for time.Now().Before(deadline) {
 			if err := client.Err(); err != nil {
 				return err
 			}
-			time.Sleep(200 * time.Millisecond)
+			poll.Sleep()
 		}
 		return client.Err()
 

@@ -1,0 +1,78 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExponentialBounds(t *testing.T) {
+	b := New(Policy{Min: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: -1}, nil)
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := b.Next(); got != w*time.Millisecond {
+			t.Errorf("Next #%d = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Errorf("after Reset, Next = %v, want 10ms", got)
+	}
+}
+
+func TestJitterStaysInWindow(t *testing.T) {
+	src := NewSeededSource(7)
+	b := New(Policy{Min: 100 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: 0.5}, src)
+	for i := 0; i < 100; i++ {
+		d := b.Next()
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [50ms, 100ms]", d)
+		}
+	}
+}
+
+// TestSeedsDecorrelate is the reconnect-stampede regression: two
+// schedules with distinct seeds must not produce identical delay
+// sequences, or every client restarted together would redial a
+// recovering server in lockstep.
+func TestSeedsDecorrelate(t *testing.T) {
+	a := New(Policy{Min: time.Second, Max: 32 * time.Second}, NewSeededSource(1))
+	b := New(Policy{Min: time.Second, Max: 32 * time.Second}, NewSeededSource(2))
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.Next() != b.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two differently-seeded schedules produced identical delays")
+	}
+}
+
+func TestPoll(t *testing.T) {
+	b := Poll(3 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		if got := b.Next(); got != 3*time.Millisecond {
+			t.Fatalf("Poll Next #%d = %v, want 3ms", i, got)
+		}
+	}
+}
+
+func TestSleepChCancel(t *testing.T) {
+	b := New(Policy{Min: time.Minute, Max: time.Minute, Jitter: -1}, nil)
+	done := make(chan struct{})
+	close(done)
+	start := time.Now()
+	if b.SleepCh(done) {
+		t.Fatal("SleepCh reported a full elapse on a closed done channel")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("SleepCh did not return promptly on cancellation")
+	}
+}
+
+func TestDefaultSourceIsRandom(t *testing.T) {
+	if NewSource().Uint64() == NewSource().Uint64() &&
+		NewSource().Uint64() == NewSource().Uint64() {
+		t.Fatal("independently created sources keep agreeing; seeding looks broken")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"trustedcvs/internal/backoff"
 	"trustedcvs/internal/core"
 	"trustedcvs/internal/core/proto1"
 	"trustedcvs/internal/core/proto2"
@@ -142,7 +143,7 @@ func (cl *p1Client) do(c transport.Caller, op vdb.Op) (uint64, error) {
 	// clients see ErrAckPending (as a wire error string) and retry
 	// with a small backoff. This contention is the protocol's blocking
 	// third message showing up in the numbers, not a harness artifact.
-	backoff := 50 * time.Microsecond
+	bo := backoff.New(backoff.Policy{Min: 50 * time.Microsecond, Max: time.Millisecond, Jitter: -1}, nil)
 	var resp any
 	var err error
 	for {
@@ -151,10 +152,7 @@ func (cl *p1Client) do(c transport.Caller, op vdb.Op) (uint64, error) {
 			break
 		}
 		if strings.Contains(err.Error(), "ack is still pending") {
-			time.Sleep(backoff)
-			if backoff *= 2; backoff > time.Millisecond {
-				backoff = time.Millisecond
-			}
+			bo.Sleep()
 			continue
 		}
 		return 0, err

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"trustedcvs/internal/adversary"
+	"trustedcvs/internal/backoff"
 	"trustedcvs/internal/broadcast"
 	"trustedcvs/internal/core"
 	"trustedcvs/internal/core/proto2"
@@ -246,8 +247,9 @@ func RunE14(cfg E14Config) (*E14Data, error) {
 	// tail would (correctly) alarm on restart, and this experiment is
 	// about proving the absence of false ones.
 	half := uint64(cfg.Users) * uint64(cfg.OpsPerUser) / 2
+	poll := backoff.Poll(time.Millisecond)
 	for opsDone.Load() < half {
-		time.Sleep(time.Millisecond)
+		poll.Sleep()
 	}
 	dep.ts.Close()
 	var snap *server.P2Snapshot

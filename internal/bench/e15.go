@@ -1,0 +1,509 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trustedcvs/internal/backoff"
+	"trustedcvs/internal/broadcast"
+	"trustedcvs/internal/core/proto2"
+	"trustedcvs/internal/cvs"
+	"trustedcvs/internal/digest"
+	"trustedcvs/internal/driver"
+	"trustedcvs/internal/fault"
+	"trustedcvs/internal/forensics"
+	"trustedcvs/internal/server"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/transport"
+	"trustedcvs/internal/witness"
+)
+
+// E15 measures witness replication under failure: a full Protocol II
+// deployment whose primary publishes signed root commitments to a set
+// of witness nodes is killed mid-workload behind faulty connections,
+// and a witness is promoted from the latest checksummed checkpoint it
+// holds. The claims under test:
+//
+//  1. Zero false alarms on benign failover: the kill, the failover to
+//     the promoted endpoint, and every retry in between never produce
+//     a deviation report — and the witness cross-check each client
+//     runs before acknowledging a sync round stays silent, because a
+//     witness quorum that is merely unreachable (ErrNoQuorum) is an
+//     availability fact, not a detection.
+//  2. Exactly-once across promotion: the promoted server's final
+//     operation counter equals the number of operations performed —
+//     clients replayed in-flight ops through the restored session
+//     table, so nothing was lost and nothing double-applied.
+//  3. Bounded fork detection: a forked commitment stream split across
+//     disjoint witness subsets is convicted within ONE gossip round,
+//     and the resulting evidence bundle verifies offline — two signed
+//     commitments that cannot both belong to one honest history.
+//  4. Benign gossip is silent: an honest commitment stream scattered
+//     across the witnesses converges with zero evidence minted.
+
+// E15Config parameterizes RunE15.
+type E15Config struct {
+	// DBSize is the number of preloaded keys.
+	DBSize int
+	// Users is the client population.
+	Users int
+	// OpsPerUser is the workload each client performs.
+	OpsPerUser int
+	// K is the sync period (every K ops a broadcast barrier round).
+	K uint64
+	// Witnesses is the witness population.
+	Witnesses int
+	// CommitEvery is the primary's commitment cadence in operations.
+	CommitEvery uint64
+	// Seed derives injector seeds and client jitter seeds.
+	Seed int64
+	// ResetProb and TruncateProb are the per-I/O fault rates on every
+	// client's server and hub connections.
+	ResetProb    float64
+	TruncateProb float64
+}
+
+// DefaultE15Config is what E15() and cmd/tcvs-bench run.
+func DefaultE15Config() E15Config {
+	return E15Config{
+		DBSize: 500, Users: 4, OpsPerUser: 100, K: 8,
+		Witnesses: 3, CommitEvery: 4, Seed: 43,
+		ResetProb: 0.02, TruncateProb: 0.01,
+	}
+}
+
+// E15Data is the full experiment result, serialized to BENCH_E15.json
+// by cmd/tcvs-bench.
+type E15Data struct {
+	Users       int    `json:"users"`
+	OpsPerUser  int    `json:"ops_per_user"`
+	TotalOps    uint64 `json:"total_ops"`
+	K           uint64 `json:"k"`
+	Witnesses   int    `json:"witnesses"`
+	CommitEvery uint64 `json:"commit_every"`
+
+	FaultsInjected      uint64  `json:"faults_injected"`
+	TransportReconnects uint64  `json:"transport_reconnects"`
+	Failovers           uint64  `json:"failovers"`
+	FailoverMillis      float64 `json:"failover_ms"`
+
+	FalseAlarms         int    `json:"false_alarms"`
+	NoQuorumSkips       uint64 `json:"no_quorum_skips"`
+	FinalCtr            uint64 `json:"final_ctr"`
+	CtrMatchesOps       bool   `json:"ctr_matches_ops"`
+	PromotedRootMatches bool   `json:"promoted_root_matches"`
+
+	ForkDetected            bool `json:"fork_detected"`
+	ForkDetectGossipRounds  int  `json:"fork_detect_gossip_rounds"`
+	EvidenceVerifiesOffline bool `json:"evidence_verifies_offline"`
+
+	BenignGossipEvidence int `json:"benign_gossip_evidence"`
+}
+
+// WriteJSON writes the result in the checked-in BENCH_E15.json format.
+func (d *E15Data) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// inprocWitness returns a DialFunc serving n in-process.
+func inprocWitness(n *witness.Node) witness.DialFunc {
+	return func() (transport.Caller, error) {
+		return transport.NewInproc(n.Handler()), nil
+	}
+}
+
+// RunE15 runs the full experiment.
+func RunE15(cfg E15Config) (*E15Data, error) {
+	d := &E15Data{
+		Users: cfg.Users, OpsPerUser: cfg.OpsPerUser,
+		TotalOps: uint64(cfg.Users) * uint64(cfg.OpsPerUser), K: cfg.K,
+		Witnesses: cfg.Witnesses, CommitEvery: cfg.CommitEvery,
+	}
+	if err := runE15Failover(cfg, d); err != nil {
+		return nil, err
+	}
+	if err := runE15Fork(d); err != nil {
+		return nil, err
+	}
+	if err := runE15BenignGossip(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// runE15Failover is phase 1: kill the primary mid-workload, promote a
+// witness from its stored checkpoint, and let the clients fail over.
+func runE15Failover(cfg E15Config, d *E15Data) error {
+	db := seedDB(cfg.DBSize)
+	base := server.NewP2(db)
+	store := cvs.NewStore()
+
+	wid, err := witness.NewIdentity("primary")
+	if err != nil {
+		return err
+	}
+	pub := witness.NewPublisher(wid, cfg.CommitEvery)
+	nodes := make([]*witness.Node, cfg.Witnesses)
+	for i := range nodes {
+		nodes[i] = witness.NewNode(fmt.Sprintf("w%d", i), 0)
+		nodes[i].Pin("primary", wid.Public())
+		pub.AddWitness(nodes[i].Name(), inprocWitness(nodes[i]))
+	}
+	srv := server.WithOpHook(base, pub.OpApplied)
+
+	hub, err := broadcast.ListenHub("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer hub.Close()
+	lisA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	// Reserve the promotion address up front so every client can carry
+	// it as its second endpoint from the start (a real deployment would
+	// distribute the witness addresses the same way).
+	lisB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		lisA.Close()
+		return err
+	}
+	addrB := lisB.Addr().String()
+	lisB.Close()
+
+	sessions := transport.NewSessionTable(0)
+	ts := transport.ServeListener(lisA, driver.NewHandler(srv, store), transport.Options{Sessions: sessions})
+	tsClosed := false
+	defer func() {
+		if !tsClosed {
+			ts.Close()
+		}
+	}()
+
+	root := base.DB().Root()
+	pol := transport.RetryPolicy{CallTimeout: 5 * time.Second, MaxAttempts: 12}
+	var (
+		injs     []*fault.Injector
+		callers  []*transport.ResilientClient
+		channels []broadcast.Channel
+		clients  []*driver.Client
+	)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i := 0; i < cfg.Users; i++ {
+		cinj := fault.NewInjector(fault.Config{
+			Seed: uint64(cfg.Seed) + uint64(i), After: 8,
+			ResetProb: cfg.ResetProb, TruncateProb: cfg.TruncateProb,
+		})
+		hinj := fault.NewInjector(fault.Config{
+			Seed: uint64(cfg.Seed) + 1000 + uint64(i), After: 8,
+			ResetProb: cfg.ResetProb, TruncateProb: cfg.TruncateProb,
+		})
+		injs = append(injs, cinj, hinj)
+		p := pol
+		p.JitterSeed = uint64(cfg.Seed)*1000 + uint64(i) + 1
+		caller := transport.DialResilientEndpoints([]transport.Endpoint{
+			{Name: "primary", Dial: fault.Dialer(lisA.Addr().String(), cinj)},
+			{Name: "backup", Dial: fault.Dialer(addrB, cinj)},
+		}, p)
+		ch := broadcast.DialHubResumeFunc(fault.Dialer(hub.Addr(), hinj))
+		u := proto2.NewUser(sig.UserID(i), root, cfg.K)
+		dc := driver.NewP2(u, caller, ch, cfg.Users)
+		chk := witness.NewCheck("primary", wid.Public(), 0)
+		for _, n := range nodes {
+			chk.AddWitness(n.Name(), inprocWitness(n))
+		}
+		dc.SetWitnessCheck(chk)
+		callers = append(callers, caller)
+		channels = append(channels, ch)
+		clients = append(clients, dc)
+	}
+
+	var opsDone atomic.Uint64
+	var promotedNanos atomic.Int64
+	recoverAt := make([]atomic.Int64, cfg.Users)
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Users)
+	for i := 0; i < cfg.Users; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := clients[id]
+			for j := 0; j < cfg.OpsPerUser; j++ {
+				op := benchOp(id*100003+j, cfg.DBSize)
+				if _, err := cl.Do(op); err != nil {
+					errs[id] = fmt.Errorf("client %d op %d: %w", id, j, err)
+					return
+				}
+				opsDone.Add(1)
+				if t := promotedNanos.Load(); t != 0 && recoverAt[id].Load() == 0 {
+					recoverAt[id].Store(time.Now().UnixNano())
+				}
+			}
+		}(i)
+	}
+
+	// Kill the primary once the workload is half done. As in E14 the
+	// transport drains first, then the checkpoint cut is taken — every
+	// acked op is inside the cut. The cut is then SHIPPED to the
+	// witnesses (validated envelope + commitment at its head) and the
+	// primary's state is abandoned: recovery happens from what the
+	// witnesses hold, not from the dead process.
+	half := d.TotalOps / 2
+	poll := backoff.Poll(time.Millisecond)
+	for opsDone.Load() < half {
+		poll.Sleep()
+	}
+	killStart := time.Now()
+	ts.Close()
+	tsClosed = true
+	var snap *server.P2Snapshot
+	var cerr error
+	sessions.Freeze(func(ss *transport.SessionsSnapshot) {
+		snap, cerr = server.CheckpointP2(srv, store)
+		if cerr == nil {
+			snap.Sessions = ss
+		}
+	})
+	if cerr != nil {
+		return fmt.Errorf("E15 checkpoint: %w", cerr)
+	}
+	if err := pub.ShipSnapshot(snap); err != nil {
+		return fmt.Errorf("E15 ship snapshot: %w", err)
+	}
+	cutRoot := base.DB().Root()
+
+	// Promote a witness: it re-verifies the envelope checksum, restores
+	// the database, and cross-checks the restored head against the
+	// signed commitment it holds for that counter.
+	prom, err := witness.Promote(nodes[0], "primary")
+	if err != nil {
+		return fmt.Errorf("E15 promote: %w", err)
+	}
+	d.PromotedRootMatches = prom.Root == cutRoot
+	lis2, err := net.Listen("tcp", addrB)
+	if err != nil {
+		return fmt.Errorf("E15 rebind %s: %w", addrB, err)
+	}
+	ts2 := transport.ServeListener(lis2, driver.NewHandler(prom.Server, prom.Store), transport.Options{Sessions: prom.Sessions})
+	defer ts2.Close()
+	promotedNanos.Store(time.Now().UnixNano())
+
+	wg.Wait()
+	for i, werr := range errs {
+		if werr != nil {
+			return fmt.Errorf("E15 phase 1 must complete cleanly: %w", werr)
+		}
+		if err := clients[i].WaitIdle(10 * time.Second); err != nil {
+			d.FalseAlarms++
+		}
+	}
+	for _, cl := range clients {
+		if cl.Err() != nil {
+			d.FalseAlarms++
+		}
+		d.NoQuorumSkips += cl.NoQuorumSkips()
+	}
+
+	var lastRecover int64
+	for i := range recoverAt {
+		if t := recoverAt[i].Load(); t > lastRecover {
+			lastRecover = t
+		}
+	}
+	if lastRecover > 0 {
+		d.FailoverMillis = float64(lastRecover-killStart.UnixNano()) / 1e6
+	}
+	d.FinalCtr = prom.Server.DB().Ctr()
+	d.CtrMatchesOps = d.FinalCtr == d.TotalOps
+	for _, inj := range injs {
+		d.FaultsInjected += inj.Injected()
+	}
+	for _, c := range callers {
+		d.TransportReconnects += c.Reconnects()
+		d.Failovers += c.Failovers()
+	}
+	_ = channels
+	return nil
+}
+
+// e15Root derives a distinct deterministic digest per (branch, index).
+func e15Root(branch byte, i int) digest.Digest {
+	var r digest.Digest
+	r[0], r[1] = branch, byte(i)
+	return r
+}
+
+// submitCommit delivers one commitment to a witness over its wire
+// protocol.
+func submitCommit(n *witness.Node, c *forensics.Commitment, pub []byte) error {
+	caller := transport.NewInproc(n.Handler())
+	defer caller.Close()
+	_, err := caller.Call(&witness.SubmitRequest{Commit: c, Pub: pub})
+	return err
+}
+
+// runE15Fork is phase 3's teeth check: a forked primary feeds branch A
+// to one witness and branch B to another. Neither witness sees a
+// conflict locally; the fork must be convicted by gossip, and the
+// experiment counts the rounds until evidence exists (the design bound
+// is one round for a full mesh).
+func runE15Fork(d *E15Data) error {
+	wid, err := witness.NewIdentity("primary")
+	if err != nil {
+		return err
+	}
+	w1 := witness.NewNode("w1", 0)
+	w2 := witness.NewNode("w2", 0)
+	w1.AddPeer("w2", inprocWitness(w2))
+	w2.AddPeer("w1", inprocWitness(w1))
+	w1.Pin("primary", wid.Public())
+	w2.Pin("primary", wid.Public())
+
+	// Shared prefix (seq 1, 2), then the histories diverge at seq 3.
+	prev := digest.Zero
+	var shared []*forensics.Commitment
+	for i := 1; i <= 2; i++ {
+		c := wid.Commit(uint64(i), uint64(i), e15Root('S', i), prev)
+		prev = e15Root('S', i)
+		shared = append(shared, c)
+	}
+	for _, c := range shared {
+		if err := submitCommit(w1, c, wid.Public()); err != nil {
+			return err
+		}
+		if err := submitCommit(w2, c, wid.Public()); err != nil {
+			return err
+		}
+	}
+	prevA, prevB := prev, prev
+	for i := 3; i <= 5; i++ {
+		ca := wid.Commit(uint64(i), uint64(i), e15Root('A', i), prevA)
+		cb := wid.Commit(uint64(i), uint64(i), e15Root('B', i), prevB)
+		prevA, prevB = e15Root('A', i), e15Root('B', i)
+		if err := submitCommit(w1, ca, wid.Public()); err != nil {
+			return err
+		}
+		if err := submitCommit(w2, cb, wid.Public()); err != nil {
+			return err
+		}
+	}
+	if len(w1.Evidence()) != 0 || len(w2.Evidence()) != 0 {
+		return fmt.Errorf("E15 fork phase: evidence before any gossip")
+	}
+
+	rounds := 0
+	for rounds < 5 && (len(w1.Evidence()) == 0 || len(w2.Evidence()) == 0) {
+		if err := w1.GossipOnce(); err != nil {
+			return err
+		}
+		rounds++
+	}
+	d.ForkDetectGossipRounds = rounds
+	evs := w1.Evidence()
+	d.ForkDetected = len(evs) > 0 && len(w2.Evidence()) > 0
+	if !d.ForkDetected {
+		return fmt.Errorf("E15 fork phase: no evidence after %d gossip rounds", rounds)
+	}
+	d.EvidenceVerifiesOffline = true
+	for _, ev := range evs {
+		if ev.Verify() != nil {
+			d.EvidenceVerifiesOffline = false
+		}
+	}
+	return nil
+}
+
+// runE15BenignGossip scatters an honest commitment stream across three
+// witnesses and gossips until they converge: no evidence may be minted
+// from mere propagation lag.
+func runE15BenignGossip(d *E15Data) error {
+	wid, err := witness.NewIdentity("primary")
+	if err != nil {
+		return err
+	}
+	nodes := make([]*witness.Node, 3)
+	for i := range nodes {
+		nodes[i] = witness.NewNode(fmt.Sprintf("b%d", i), 0)
+		nodes[i].Pin("primary", wid.Public())
+	}
+	for i, n := range nodes {
+		for j, p := range nodes {
+			if i == j {
+				continue
+			}
+			n.AddPeer(p.Name(), inprocWitness(p))
+		}
+	}
+	prev := digest.Zero
+	for i := 1; i <= 9; i++ {
+		c := wid.Commit(uint64(i), uint64(i), e15Root('H', i), prev)
+		prev = e15Root('H', i)
+		if err := submitCommit(nodes[i%3], c, wid.Public()); err != nil {
+			return err
+		}
+	}
+	for round := 0; round < 2; round++ {
+		for _, n := range nodes {
+			if err := n.GossipOnce(); err != nil {
+				return err
+			}
+		}
+	}
+	for _, n := range nodes {
+		d.BenignGossipEvidence += len(n.Evidence())
+		latest := n.Latest("primary")
+		if latest == nil || latest.Seq != 9 {
+			return fmt.Errorf("E15 benign gossip: %s did not converge", n.Name())
+		}
+	}
+	return nil
+}
+
+// E15 runs the experiment with the default configuration and renders
+// it as a table.
+func E15() *Table {
+	d, err := RunE15(DefaultE15Config())
+	if err != nil {
+		panic(err)
+	}
+	return d.Table()
+}
+
+// Table renders the data as the E15 exhibit.
+func (d *E15Data) Table() *Table {
+	t := &Table{
+		ID:       "E15",
+		Title:    "Witness replication: failover by promotion, fork conviction by gossip",
+		PaperRef: "Theorem 3.1's external channel made infrastructural; DESIGN.md \"Witness replication & failover\"",
+		Columns:  []string{"metric", "value"},
+	}
+	t.AddRow("users x ops/user", fmt.Sprintf("%d x %d (k=%d)", d.Users, d.OpsPerUser, d.K))
+	t.AddRow("witnesses / commit cadence", fmt.Sprintf("%d / every %d ops", d.Witnesses, d.CommitEvery))
+	t.AddRow("faults injected", d.FaultsInjected)
+	t.AddRow("transport reconnects", d.TransportReconnects)
+	t.AddRow("failovers to promoted witness", d.Failovers)
+	t.AddRow("failover latency (kill -> all progressing)", fmt.Sprintf("%.1f ms", d.FailoverMillis))
+	t.AddRow("false deviation alarms", d.FalseAlarms)
+	t.AddRow("witness checks skipped (no quorum)", d.NoQuorumSkips)
+	t.AddRow("final ctr == total ops", fmt.Sprintf("%v (%d)", d.CtrMatchesOps, d.FinalCtr))
+	t.AddRow("promoted root == checkpoint root", d.PromotedRootMatches)
+	t.AddRow("fork convicted within gossip rounds", fmt.Sprintf("%v (%d round)", d.ForkDetected, d.ForkDetectGossipRounds))
+	t.AddRow("evidence verifies offline", d.EvidenceVerifiesOffline)
+	t.AddRow("benign gossip evidence minted", d.BenignGossipEvidence)
+	t.Notes = append(t.Notes,
+		"promotion re-verifies everything: envelope checksum, restored head vs declared head, and the witness's own signed commitment at that counter — a witness cannot be tricked into promoting state it never vouched for",
+		"clients keep one session id across failover; the promoted server restored the primary's session table from the shipped checkpoint, so retried in-flight ops replay instead of double-applying",
+		"divergence and unavailability are distinct outcomes (ErrDiverged vs ErrNoQuorum): a dead primary or unreachable witness can delay checks but never manufacture an alarm")
+	return t
+}

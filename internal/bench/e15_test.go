@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+func TestRunE15Small(t *testing.T) {
+	cfg := DefaultE15Config()
+	cfg.DBSize = 100
+	cfg.Users = 3
+	cfg.OpsPerUser = 40
+	cfg.CommitEvery = 2
+	d, err := RunE15(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FalseAlarms != 0 {
+		t.Errorf("benign failover raised %d false alarms", d.FalseAlarms)
+	}
+	if !d.CtrMatchesOps {
+		t.Errorf("exactly-once violated: final ctr %d, want %d", d.FinalCtr, d.TotalOps)
+	}
+	if !d.PromotedRootMatches {
+		t.Error("promoted root does not match the checkpoint cut")
+	}
+	if d.Failovers == 0 {
+		t.Error("no client failed over to the promoted witness")
+	}
+	if !d.ForkDetected || d.ForkDetectGossipRounds != 1 {
+		t.Errorf("fork detected=%v in %d gossip rounds, want detection in 1",
+			d.ForkDetected, d.ForkDetectGossipRounds)
+	}
+	if !d.EvidenceVerifiesOffline {
+		t.Error("evidence bundle failed offline verification")
+	}
+	if d.BenignGossipEvidence != 0 {
+		t.Errorf("benign gossip minted %d evidence bundles", d.BenignGossipEvidence)
+	}
+}

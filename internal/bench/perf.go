@@ -215,9 +215,10 @@ func genTrace(users, ops int, seed int64) *workload.Trace {
 // exhibits, E9–E11 ablate DESIGN.md's design choices, E12 measures the
 // fault-localization extension, E13 measures the pipelined transport
 // under concurrent TCP clients, E14 measures availability and recovery
-// under fault injection.
+// under fault injection, E15 measures witness replication: failover by
+// promotion and fork conviction by gossip.
 func All() []*Table {
-	return []*Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14()}
+	return []*Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14(), E15()}
 }
 
 // ByID returns one experiment's runner.
@@ -226,7 +227,7 @@ func ByID(id string) (func() *Table, bool) {
 		"E1": E1, "E2": E2, "E3": E3, "E4": E4,
 		"E5": E5, "E6": E6, "E7": E7, "E8": E8,
 		"E9": E9, "E10": E10, "E11": E11, "E12": E12,
-		"E13": E13, "E14": E14,
+		"E13": E13, "E14": E14, "E15": E15,
 	}
 	f, ok := m[id]
 	return f, ok

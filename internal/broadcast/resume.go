@@ -8,8 +8,19 @@ import (
 	"sync"
 	"time"
 
+	"trustedcvs/internal/backoff"
 	"trustedcvs/internal/wire"
 )
+
+// HandshakeTimeout bounds the hello exchange on each (re)connect: the
+// hello write and the wait for the hub's first frame both carry this
+// deadline. Without it, a hub that accepts the TCP connection but
+// never answers (half-up process, black-holing middlebox) parks the
+// member in a blocking read forever — the connection looks "up", so
+// the redial loop never runs and the member silently stops receiving
+// broadcasts. A timeout here is an ordinary retryable connection
+// failure: tear down, back off, redial.
+var HandshakeTimeout = 5 * time.Second
 
 // DialHubResume joins a TCP hub with resumable delivery: if the
 // connection drops, the channel redials with bounded backoff, tells
@@ -92,17 +103,13 @@ func (c *resumeChannel) Reconnects() uint64 {
 // redial until Close.
 func (c *resumeChannel) run() {
 	defer close(c.ch)
-	const backoffMin, backoffMax = 10 * time.Millisecond, 2 * time.Second
-	backoff := backoffMin
+	bo := backoff.New(backoff.Policy{Min: 10 * time.Millisecond, Max: 2 * time.Second}, backoff.NewSource())
 	first := true
 	for {
 		conn, err := c.dial()
 		if err != nil {
-			if !c.sleep(backoff) {
+			if !bo.SleepCh(c.done) {
 				return
-			}
-			if backoff *= 2; backoff > backoffMax {
-				backoff = backoffMax
 			}
 			continue
 		}
@@ -124,20 +131,29 @@ func (c *resumeChannel) run() {
 		last := c.lastIdx
 		c.mu.Unlock()
 
-		if err = c.send(conn, &hubHello{SID: c.sid, Last: last}); err != nil {
+		// The hello exchange runs under the handshake deadline on both
+		// directions; a hub that accepted but never engages costs one
+		// timeout, not a goroutine forever.
+		_ = conn.SetWriteDeadline(time.Now().Add(HandshakeTimeout))
+		err = c.send(conn, &hubHello{SID: c.sid, Last: last})
+		if err == nil {
+			err = conn.SetWriteDeadline(time.Time{})
+		}
+		if err == nil {
+			// Armed until the first frame arrives; readLoop disarms it.
+			err = conn.SetReadDeadline(time.Now().Add(HandshakeTimeout))
+		}
+		if err != nil {
 			c.mu.Lock()
 			c.conn = nil
 			c.mu.Unlock()
 			conn.Close()
-			if !c.sleep(backoff) {
+			if !bo.SleepCh(c.done) {
 				return
-			}
-			if backoff *= 2; backoff > backoffMax {
-				backoff = backoffMax
 			}
 			continue
 		}
-		backoff = backoffMin
+		bo.Reset()
 
 		// The pump resends unacked publications and carries new ones,
 		// concurrently with the read loop — so acks coming back prune
@@ -243,10 +259,17 @@ var errChannelClosed = fmt.Errorf("broadcast: channel closed")
 // message; backpressure is the consumer's problem, exactly as with the
 // in-process hub's deep buffer.
 func (c *resumeChannel) readLoop(conn net.Conn) error {
+	handshake := true
 	for {
 		msg, err := wire.Read(conn)
 		if err != nil {
 			return err
+		}
+		if handshake {
+			// First frame: the hub is engaged; drop back to unbounded
+			// reads (silence on an idle hub is normal from here on).
+			handshake = false
+			_ = conn.SetReadDeadline(time.Time{})
 		}
 		var e *hubSeq
 		switch m := msg.(type) {
@@ -302,17 +325,6 @@ func (c *resumeChannel) pruneAcked(acked uint64) {
 	}
 	c.pending = keep
 	c.mu.Unlock()
-}
-
-func (c *resumeChannel) sleep(d time.Duration) bool {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return true
-	case <-c.done:
-		return false
-	}
 }
 
 // Publish queues msg durably (until the hub logs it) and sends it on

@@ -2,6 +2,7 @@ package broadcast
 
 import (
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -214,5 +215,96 @@ func TestResumeReconnectCountAndHardOutage(t *testing.T) {
 		if v != i {
 			t.Fatalf("replay after outage broken: got %v", got)
 		}
+	}
+}
+
+// TestResumeHandshakeTimeoutOnMuteHub is the regression test for the
+// unbounded-handshake bug: a hub that accepts the TCP connection but
+// never answers the hello used to park the member in a blocking read
+// forever — the connection looked "up", so the redial loop never ran.
+// With HandshakeTimeout the mute connection costs one bounded timeout
+// and the member redials; once a real hub answers, delivery resumes.
+func TestResumeHandshakeTimeoutOnMuteHub(t *testing.T) {
+	saved := HandshakeTimeout
+	HandshakeTimeout = 50 * time.Millisecond
+	defer func() { HandshakeTimeout = saved }()
+
+	// A listener that accepts and then goes mute: never reads, never
+	// writes, holds the connection open.
+	mute, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mute.Close()
+	muteDone := make(chan struct{})
+	go func() {
+		defer close(muteDone)
+		var held []net.Conn
+		defer func() {
+			for _, c := range held {
+				c.Close()
+			}
+		}()
+		for {
+			conn, err := mute.Accept()
+			if err != nil {
+				return
+			}
+			held = append(held, conn)
+		}
+	}()
+
+	hub, err := ListenHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	// The first two dials land on the mute listener; later ones reach
+	// the real hub. Without the handshake deadline the very first dial
+	// hangs the member permanently and the test times out.
+	var dials int
+	var dialMu sync.Mutex
+	dial := func() (net.Conn, error) {
+		dialMu.Lock()
+		dials++
+		n := dials
+		dialMu.Unlock()
+		if n <= 2 {
+			return net.DialTimeout("tcp", mute.Addr().String(), time.Second)
+		}
+		return net.DialTimeout("tcp", hub.Addr(), time.Second)
+	}
+
+	sub := DialHubResumeFunc(dial)
+	defer sub.Close()
+
+	pubc := DialHubResume(hub.Addr())
+	defer pubc.Close()
+	for i := 0; i < 5; i++ {
+		if err := pubc.Publish(Message{From: 1, Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := payloads(collect(t, sub, 5))
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delivery after mute-hub recovery broken: got %v", got)
+		}
+	}
+
+	rc, ok := sub.(*resumeChannel)
+	if !ok {
+		t.Fatalf("DialHubResumeFunc returned %T", sub)
+	}
+	if n := rc.Reconnects(); n < 2 {
+		t.Fatalf("expected at least 2 redials past the mute hub, got %d", n)
+	}
+	dialMu.Lock()
+	n := dials
+	dialMu.Unlock()
+	if n < 3 {
+		t.Fatalf("member never dialed past the mute listener: %d dials", n)
 	}
 }

@@ -36,6 +36,11 @@ const (
 	// ProtocolViolation: the server broke the message protocol itself
 	// (wrong response type, missing fields, out-of-order flow).
 	ProtocolViolation
+	// WitnessDivergence: the root a client verified locally contradicts
+	// the signed commitment the witness quorum holds for the same
+	// operation counter — the server showed different histories to the
+	// client and to its witnesses.
+	WitnessDivergence
 )
 
 func (c DetectionClass) String() string {
@@ -54,6 +59,8 @@ func (c DetectionClass) String() string {
 		return "epoch-violation"
 	case ProtocolViolation:
 		return "protocol-violation"
+	case WitnessDivergence:
+		return "witness-divergence"
 	default:
 		return fmt.Sprintf("detection-class(%d)", int(c))
 	}

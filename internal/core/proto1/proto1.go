@@ -150,6 +150,7 @@ type User struct {
 	gctr      uint64
 	sinceSync uint64
 	journal   *forensics.Journal
+	lastRoot  digest.Digest
 }
 
 // EnableJournal attaches a bounded transition journal of the given
@@ -177,6 +178,13 @@ func (u *User) ID() sig.UserID { return u.signer.ID() }
 // LCtr returns lctrᵢ, the user's completed-operation count.
 func (u *User) LCtr() uint64 { return u.lctr }
 
+// VerifiedRoot returns the (ctr, root) pair this user most recently
+// verified through a VO, for cross-checking against witness
+// commitments. Zero (0, Zero) before any operation.
+func (u *User) VerifiedRoot() (uint64, digest.Digest) {
+	return u.gctr, u.lastRoot
+}
+
 // Request builds the operation request for op.
 func (u *User) Request(op vdb.Op) *core.OpRequest {
 	return &core.OpRequest{User: u.ID(), Op: op}
@@ -201,6 +209,7 @@ func (u *User) HandleResponse(op vdb.Op, resp *core.OpResponseI) (*core.AckReque
 	u.lctr++
 	u.gctr = resp.Ctr + 1
 	u.sinceSync++
+	u.lastRoot = newRoot
 	if u.journal != nil {
 		u.journal.Record(resp.Ctr+1, core.StateHash(oldRoot, resp.Ctr), core.StateHash(newRoot, resp.Ctr+1))
 	}

@@ -128,6 +128,8 @@ type User struct {
 	regs         core.Registers
 	initialState digest.Digest
 	journal      *forensics.Journal
+	lastCtr      uint64
+	lastRoot     digest.Digest
 }
 
 // EnableJournal attaches a bounded transition journal of the given
@@ -164,6 +166,13 @@ func (u *User) LCtr() uint64 { return u.regs.Ops }
 // measuring state size and for Protocol III, which embeds this type).
 func (u *User) Registers() core.Registers { return u.regs }
 
+// VerifiedRoot returns the (ctr, root) pair this user most recently
+// verified through a VO — the local truth a witness commitment for the
+// same ctr must agree with. Zero (0, Zero) before any operation.
+func (u *User) VerifiedRoot() (uint64, digest.Digest) {
+	return u.lastCtr, u.lastRoot
+}
+
 // Request builds the operation request for op.
 func (u *User) Request(op vdb.Op) *core.OpRequest {
 	return &core.OpRequest{User: u.id, Op: op}
@@ -190,6 +199,7 @@ func (u *User) HandleResponse(op vdb.Op, resp *core.OpResponseII) (any, error) {
 	oldState := core.TaggedStateHash(oldRoot, resp.Ctr, resp.Last)
 	newState := core.TaggedStateHash(newRoot, resp.Ctr+1, u.id)
 	u.regs.Absorb(oldState, newState, resp.Ctr+1)
+	u.lastCtr, u.lastRoot = resp.Ctr+1, newRoot
 	if u.journal != nil {
 		u.journal.Record(resp.Ctr+1, oldState, newState)
 	}

@@ -21,6 +21,7 @@ import (
 
 	"trustedcvs/internal/core"
 	"trustedcvs/internal/digest"
+	"trustedcvs/internal/forensics"
 	"trustedcvs/internal/sig"
 	"trustedcvs/internal/vdb"
 )
@@ -184,6 +185,27 @@ type User struct {
 	// server whose epoch announcements drift more than one epoch from
 	// it is detected. Nil disables the check.
 	LocalEpoch func() uint64
+	journal    *forensics.Journal
+	lastCtr    uint64
+	lastRoot   digest.Digest
+}
+
+// EnableJournal attaches a bounded transition journal of the given
+// capacity for fault localization, exactly as in Protocol II — the
+// register algebra the journal replays is shared, so forensic reports
+// work unchanged under the epoch protocol.
+func (u *User) EnableJournal(cap int) {
+	u.journal = forensics.NewJournal(u.ID(), cap)
+}
+
+// Journal returns the user's transition journal (nil if not enabled).
+func (u *User) Journal() *forensics.Journal { return u.journal }
+
+// VerifiedRoot returns the (ctr, root) pair this user most recently
+// verified through a VO, for cross-checking against witness
+// commitments. Zero (0, Zero) before any operation.
+func (u *User) VerifiedRoot() (uint64, digest.Digest) {
+	return u.lastCtr, u.lastRoot
 }
 
 // NewUser creates the user state machine. initialRoot is M(D₀); users
@@ -295,6 +317,10 @@ func (u *User) HandleResponse(op vdb.Op, resp *core.OpResponseII) (Outcome, erro
 	oldState := core.TaggedStateHash(oldRoot, resp.Ctr, resp.Last)
 	newState := core.TaggedStateHash(newRoot, resp.Ctr+1, u.ID())
 	u.regs.Absorb(oldState, newState, resp.Ctr+1)
+	if u.journal != nil {
+		u.journal.Record(resp.Ctr+1, oldState, newState)
+	}
+	u.lastCtr, u.lastRoot = resp.Ctr+1, newRoot
 
 	out.Answer, err = vdb.DecodeAnswer(resp.Answer)
 	if err != nil {

@@ -52,6 +52,10 @@ const (
 	// checkpoint: it detects torn writes and bit rot on load, so a
 	// recovering server never silently starts from garbage.
 	DomainSnapshot byte = 0x08
+	// DomainCommitment binds a signed epoch root commitment the primary
+	// publishes to its witnesses; two valid signatures under this domain
+	// over conflicting (ctr, root) pairs are court-ready fork evidence.
+	DomainCommitment byte = 0x09
 )
 
 // Zero is the all-zero digest.

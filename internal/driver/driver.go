@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"trustedcvs/internal/backoff"
 	"trustedcvs/internal/broadcast"
 	"trustedcvs/internal/core"
 	"trustedcvs/internal/core/proto1"
@@ -32,6 +33,7 @@ import (
 	"trustedcvs/internal/sig"
 	"trustedcvs/internal/transport"
 	"trustedcvs/internal/vdb"
+	"trustedcvs/internal/witness"
 )
 
 // reportMsg carries one user's sync report for one round over the
@@ -76,6 +78,9 @@ type Client struct {
 	seq    uint64
 	failed error
 	closed bool
+
+	check    *witness.Check // nil: no witness cross-check
+	noQuorum uint64         // witness checks skipped for lack of quorum
 
 	wg sync.WaitGroup
 }
@@ -129,6 +134,29 @@ func (c *Client) start() {
 // ID returns the client's user identity.
 func (c *Client) ID() sig.UserID { return c.id }
 
+// SetWitnessCheck arms the witness cross-check: after every verified
+// operation the client records the root it derived, and before a sync
+// round is acknowledged it compares those roots against the witness
+// quorum's signed commitments. A divergence is a detection
+// (core.WitnessDivergence) and, when the server connection is a
+// multi-endpoint ResilientClient, the convicted endpoint is
+// quarantined so retries cannot fail over back onto the fork. Set
+// before issuing operations.
+func (c *Client) SetWitnessCheck(chk *witness.Check) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.check = chk
+}
+
+// NoQuorumSkips reports how many witness checks were skipped because
+// too few witnesses answered. Availability loss, not detection — E15
+// asserts this stays separate from the false-alarm count.
+func (c *Client) NoQuorumSkips() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.noQuorum
+}
+
 // Err returns the recorded detection error, if any.
 func (c *Client) Err() error {
 	c.mu.Lock()
@@ -147,6 +175,8 @@ func (c *Client) Journal() *forensics.Journal {
 		return c.u1.Journal()
 	case c.u2 != nil:
 		return c.u2.Journal()
+	case c.u3 != nil:
+		return c.u3.Journal()
 	}
 	return nil
 }
@@ -193,6 +223,7 @@ func (c *Client) Do(op vdb.Op) (any, error) {
 		}
 		return nil, err
 	}
+	c.observeLocked()
 	if c.needsSyncLocked() {
 		c.seq++
 		key := roundKey{c.id, c.seq}
@@ -286,6 +317,81 @@ func (c *Client) runEpochCheckLocked(e uint64) error {
 		return core.Detect(core.ProtocolViolation, c.id, c.u3.LCtr(), fmt.Errorf("bad backups response %T", raw))
 	}
 	return c.u3.CompleteEpochCheck(e, prev, cur)
+}
+
+// observeLocked records the root the local state machine just
+// verified, so the next witness check can compare it against what the
+// witnesses hold for the same counter.
+func (c *Client) observeLocked() {
+	if c.check == nil {
+		return
+	}
+	switch c.proto {
+	case server.P1:
+		c.check.Observe(c.u1.VerifiedRoot())
+	case server.P2:
+		c.check.Observe(c.u2.VerifiedRoot())
+	case server.P3:
+		c.check.Observe(c.u3.VerifiedRoot())
+	}
+}
+
+func (c *Client) lctrLocked() uint64 {
+	switch c.proto {
+	case server.P1:
+		return c.u1.LCtr()
+	case server.P2:
+		return c.u2.LCtr()
+	case server.P3:
+		return c.u3.LCtr()
+	}
+	return 0
+}
+
+// verifyWitnessLocked cross-checks the roots this client verified
+// against the witness quorum's signed commitments. It runs with mu
+// held, *before* the sync round is acknowledged, so no new operation
+// ever starts on top of a root the witnesses contradict.
+func (c *Client) verifyWitnessLocked() error {
+	if c.check == nil {
+		return nil
+	}
+	err := c.check.Verify()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, witness.ErrNoQuorum):
+		// Too few witnesses answered. That is availability loss, never
+		// detection — conflating the two is exactly how benign failover
+		// turns into false alarms. Skip, count, proceed.
+		c.noQuorum++
+		return nil
+	default:
+		// Divergence, with verified evidence in c.check.Evidence().
+		// Quarantine the convicted endpoint first so retries cannot
+		// fail back over onto the fork, then terminate.
+		if rc, ok := c.conn.(*transport.ResilientClient); ok {
+			rc.Quarantine(rc.EndpointName())
+		}
+		return core.Detect(core.WitnessDivergence, c.id, c.lctrLocked(), err)
+	}
+}
+
+// VerifyWitnesses runs the witness cross-check immediately. Protocol
+// III clients have no sync rounds to piggyback on, so callers invoke
+// this at the cadence they want (per batch, per epoch). Divergence is
+// recorded as a terminal detection like any other.
+func (c *Client) VerifyWitnesses() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		return c.failed
+	}
+	if err := c.verifyWitnessLocked(); err != nil {
+		c.recordFailure(err)
+		return err
+	}
+	return nil
 }
 
 func (c *Client) needsSyncLocked() bool {
@@ -408,6 +514,12 @@ func (c *Client) onReport(m *reportMsg) {
 		}
 		err = c.u2.CompleteSync(reports)
 	}
+	if err == nil {
+		// The registers agreed; now make sure the roots we verified
+		// along the way are the ones the witnesses co-signed. Only then
+		// is the round acknowledged and the barrier released.
+		err = c.verifyWitnessLocked()
+	}
 	delete(c.rounds, key)
 	if key.round > c.done[key.initiator] {
 		c.done[key.initiator] = key.round
@@ -432,6 +544,7 @@ func (c *Client) recordFailure(err error) {
 // outcomes deterministically.
 func (c *Client) WaitIdle(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	poll := backoff.Poll(5 * time.Millisecond)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for len(c.rounds) > 0 && c.failed == nil && !c.closed {
@@ -440,7 +553,7 @@ func (c *Client) WaitIdle(timeout time.Duration) error {
 		}
 		// Poor man's timed wait: poll with the cond.
 		c.mu.Unlock()
-		time.Sleep(5 * time.Millisecond)
+		poll.Sleep()
 		c.mu.Lock()
 	}
 	return c.failed

@@ -1,0 +1,188 @@
+// Evidence bundles: the court-ready artifact of witness replication.
+//
+// The journals in this package localize a fault from the *users'* side
+// — unsigned, trusted only because the users trust themselves. Witness
+// replication (internal/witness) adds a second, stronger artifact: the
+// primary signs every epoch root commitment it publishes, so when two
+// commitments conflict — two different roots claimed for the same
+// operation counter, or two different payloads under the same sequence
+// number — the pair is self-authenticating proof of equivocation.
+// Anyone holding the primary's public key can verify an Evidence
+// bundle offline, with no access to the database, the witnesses, or
+// the users: exactly the "present it to a judge" property the paper's
+// introduction asks of deviation detection.
+package forensics
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"trustedcvs/internal/digest"
+)
+
+// Commitment is one signed epoch root commitment published by the
+// primary server: "at operation counter Ctr my database root was Root".
+// Commitments form a chain — Seq increments per publication and Prev
+// names the previously committed root — so witnesses can audit the
+// stream's continuity, not just individual entries.
+type Commitment struct {
+	// Server names the publishing identity (stable across restarts).
+	Server string
+	// Seq is the commitment's position in the server's publication
+	// stream (1-based, increments per commitment).
+	Seq uint64
+	// Ctr is the database operation counter at the committed cut.
+	Ctr uint64
+	// Root is the Merkle root M(D) at Ctr.
+	Root digest.Digest
+	// Prev is the root committed at Seq-1 (zero for the first).
+	Prev digest.Digest
+	// Sig is the server's Ed25519 signature over CommitmentHash.
+	Sig []byte
+}
+
+// CommitmentHash is the domain-separated digest a commitment signature
+// covers. Every field is bound, so no two distinct commitments share a
+// hash.
+func CommitmentHash(server string, seq, ctr uint64, root, prev digest.Digest) digest.Digest {
+	return digest.NewHasher(digest.DomainCommitment).
+		String(server).Uint64(seq).Uint64(ctr).
+		Digest(root).Digest(prev).Sum()
+}
+
+// Verify checks the commitment's signature under the server's public
+// key.
+func (c *Commitment) Verify(pub ed25519.PublicKey) error {
+	h := CommitmentHash(c.Server, c.Seq, c.Ctr, c.Root, c.Prev)
+	if !ed25519.Verify(pub, h[:], c.Sig) {
+		return fmt.Errorf("forensics: commitment seq %d (ctr %d, root %s): %w",
+			c.Seq, c.Ctr, c.Root.Short(), errInvalidCommitmentSig)
+	}
+	return nil
+}
+
+var errInvalidCommitmentSig = errors.New("invalid commitment signature")
+
+// Same reports whether two commitments are byte-identical (a benign
+// re-submission, not a conflict).
+func (c *Commitment) Same(o *Commitment) bool {
+	return c.Server == o.Server && c.Seq == o.Seq && c.Ctr == o.Ctr &&
+		c.Root == o.Root && c.Prev == o.Prev && bytes.Equal(c.Sig, o.Sig)
+}
+
+// Conflicts classifies the contradiction between two commitments from
+// the same server, empty if they are compatible. Honest streams have
+// at most one commitment per Seq and one root per Ctr; either
+// multiplicity proves the server ran (at least) two histories.
+func (c *Commitment) Conflicts(o *Commitment) string {
+	if c.Server != o.Server || c.Same(o) {
+		return ""
+	}
+	if c.Ctr == o.Ctr && c.Root != o.Root {
+		return fmt.Sprintf("two roots committed for ctr %d: %s vs %s", c.Ctr, c.Root.Short(), o.Root.Short())
+	}
+	if c.Seq == o.Seq {
+		return fmt.Sprintf("two distinct commitments published under seq %d", c.Seq)
+	}
+	// Chain break: a commitment's Prev must repeat the root committed at
+	// the preceding seq. A mismatch proves the two entries belong to
+	// different histories even when neither ctr nor seq collide.
+	if c.Seq == o.Seq+1 && c.Prev != o.Root {
+		return fmt.Sprintf("seq %d commits prev root %s but seq %d committed %s", c.Seq, c.Prev.Short(), o.Seq, o.Root.Short())
+	}
+	if o.Seq == c.Seq+1 && o.Prev != c.Root {
+		return fmt.Sprintf("seq %d commits prev root %s but seq %d committed %s", o.Seq, o.Prev.Short(), c.Seq, c.Root.Short())
+	}
+	return ""
+}
+
+// Evidence is a self-contained, verifiable proof that the named server
+// equivocated: two validly signed commitments that cannot both belong
+// to one linear history. Unlike a journal Report it requires no trust
+// in the witnesses that assembled it — the signatures carry the whole
+// argument.
+type Evidence struct {
+	// Server is the accused identity.
+	Server string
+	// Pub is the server's Ed25519 public key, included so the bundle
+	// verifies offline. (A verifier who obtained the key out of band
+	// should compare.)
+	Pub []byte
+	// A and B are the conflicting signed commitments.
+	A, B Commitment
+	// Witnesses names the witness nodes that observed each side (for
+	// the narrative; not part of the proof).
+	Witnesses []string
+}
+
+// Verify checks the bundle end to end: both signatures valid under
+// Pub, both commitments from Server, and the pair genuinely
+// conflicting. A bundle that fails Verify proves nothing and must not
+// be acted on — a lying witness can fabricate unsigned conflicts but
+// never signed ones.
+func (e *Evidence) Verify() error {
+	if e.A.Server != e.Server || e.B.Server != e.Server {
+		return fmt.Errorf("forensics: evidence names server %q but commitments claim %q and %q",
+			e.Server, e.A.Server, e.B.Server)
+	}
+	pub := ed25519.PublicKey(e.Pub)
+	if len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("forensics: evidence carries a %d-byte public key, want %d", len(pub), ed25519.PublicKeySize)
+	}
+	if err := e.A.Verify(pub); err != nil {
+		return fmt.Errorf("forensics: evidence side A: %w", err)
+	}
+	if err := e.B.Verify(pub); err != nil {
+		return fmt.Errorf("forensics: evidence side B: %w", err)
+	}
+	if e.A.Conflicts(&e.B) == "" {
+		return errors.New("forensics: commitments do not conflict; no deviation is proven")
+	}
+	return nil
+}
+
+// Key is a stable identity for deduplicating evidence about the same
+// conflicting pair (the order of A and B does not matter).
+func (e *Evidence) Key() string {
+	a := CommitmentHash(e.A.Server, e.A.Seq, e.A.Ctr, e.A.Root, e.A.Prev)
+	b := CommitmentHash(e.B.Server, e.B.Seq, e.B.Ctr, e.B.Root, e.B.Prev)
+	if b.String() < a.String() {
+		a, b = b, a
+	}
+	return a.String() + "|" + b.String()
+}
+
+// String renders the bundle for logs and the CLI.
+func (e *Evidence) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "signed fork evidence against %q: %s", e.Server, e.A.Conflicts(&e.B))
+	fmt.Fprintf(&sb, "\n  A: seq %d ctr %d root %s (prev %s)", e.A.Seq, e.A.Ctr, e.A.Root.Short(), e.A.Prev.Short())
+	fmt.Fprintf(&sb, "\n  B: seq %d ctr %d root %s (prev %s)", e.B.Seq, e.B.Ctr, e.B.Root.Short(), e.B.Prev.Short())
+	if len(e.Witnesses) > 0 {
+		ws := append([]string(nil), e.Witnesses...)
+		sort.Strings(ws)
+		fmt.Fprintf(&sb, "\n  observed by: %s", strings.Join(ws, ", "))
+	}
+	return sb.String()
+}
+
+// MergeEvidence appends the bundles from src not already present in
+// dst (by Key), returning the extended slice.
+func MergeEvidence(dst []*Evidence, src ...*Evidence) []*Evidence {
+	seen := make(map[string]bool, len(dst))
+	for _, e := range dst {
+		seen[e.Key()] = true
+	}
+	for _, e := range src {
+		if e == nil || seen[e.Key()] {
+			continue
+		}
+		seen[e.Key()] = true
+		dst = append(dst, e)
+	}
+	return dst
+}

@@ -60,6 +60,7 @@ const (
 	nameRandSource     = "randsource"
 	nameErrDrop        = "errdrop"
 	namePanicFree      = "panicfree"
+	nameSleepRetry     = "sleepretry"
 )
 
 // Passes returns all registered passes in their canonical order.
@@ -70,6 +71,7 @@ func Passes() []*Pass {
 		passRandSource,
 		passErrDrop,
 		passPanicFree,
+		passSleepRetry,
 	}
 }
 

@@ -21,18 +21,19 @@ func TestFixtureCorpus(t *testing.T) {
 		file string
 		line int
 	}{
-		{"errdrop", "internal/codec/drop.go", 19},         // ExprStmt discard
-		{"errdrop", "internal/codec/drop.go", 24},         // error assigned to _
-		{"errdrop", "internal/codec/drop.go", 30},         // error lost in defer
-		{"lockscope", "internal/core/sign.go", 20},        // ed25519.Sign under Lock
-		{"hashdiscipline", "internal/cvs/rawgob.go", 13},  // raw gob on net.Conn
-		{"randsource", "internal/merkle/clock.go", 7},     // time.Now in merkle
-		{"hashdiscipline", "internal/merkle/hash.go", 6},  // sha256 outside digest
-		{"panicfree", "internal/server/entry.go", 29},     // panic via HandleOp
-		{"randsource", "internal/sig/rand.go", 5},         // math/rand in sig
-		{"lockscope", "internal/transport/conn.go", 20},   // net.Conn.Write under Lock
-		{"lockscope", "internal/transport/faulty.go", 23}, // fault.Injector.Next under Lock
-		{"lockscope", "internal/vdb/lock.go", 22},         // gob Encode under defer-Unlock
+		{"errdrop", "internal/codec/drop.go", 19},              // ExprStmt discard
+		{"errdrop", "internal/codec/drop.go", 24},              // error assigned to _
+		{"errdrop", "internal/codec/drop.go", 30},              // error lost in defer
+		{"lockscope", "internal/core/sign.go", 20},             // ed25519.Sign under Lock
+		{"hashdiscipline", "internal/cvs/rawgob.go", 13},       // raw gob on net.Conn
+		{"randsource", "internal/merkle/clock.go", 7},          // time.Now in merkle
+		{"hashdiscipline", "internal/merkle/hash.go", 6},       // sha256 outside digest
+		{"panicfree", "internal/server/entry.go", 29},          // panic via HandleOp
+		{"randsource", "internal/sig/rand.go", 5},              // math/rand in sig
+		{"lockscope", "internal/transport/conn.go", 20},        // net.Conn.Write under Lock
+		{"lockscope", "internal/transport/faulty.go", 23},      // fault.Injector.Next under Lock
+		{"sleepretry", "internal/transport/retrysleep.go", 12}, // time.Sleep in retry loop
+		{"lockscope", "internal/vdb/lock.go", 22},              // gob Encode under defer-Unlock
 	}
 	got := Run(m, Passes())
 	for i := 0; i < len(got) || i < len(want); i++ {

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// passSleepRetry bans bare time.Sleep retry loops. A `for { ...;
+// time.Sleep(d) }` loop hard-codes its cadence: it cannot jitter, so
+// a fleet of clients recovering from the same outage reconnects in
+// lockstep (thundering herd), and it cannot back off, so a dead
+// endpoint is hammered at full rate forever. Every waiting loop must
+// go through internal/backoff — Policy-driven exponential backoff with
+// seeded jitter for retries, or backoff.Poll for fixed-interval polls
+// (which documents at the call site that a constant cadence is the
+// intent, not an accident). internal/fault and internal/backoff are
+// exempt: the injector sleeps to SIMULATE latency, and the backoff
+// package is where the one legitimate time.Sleep lives.
+var passSleepRetry = &Pass{
+	Name: nameSleepRetry,
+	Doc:  "bare time.Sleep inside a loop body (use internal/backoff)",
+	Run:  runSleepRetry,
+}
+
+var sleepAllowScope = []string{"internal/fault", "internal/backoff"}
+
+func runSleepRetry(m *Module) []Diag {
+	var out []Diag
+	for _, pkg := range m.Pkgs {
+		if underAny(pkg.Rel, sleepAllowScope...) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			// Lexical loop depth, with a save/restore around function
+			// literals: a sleep inside `go func(){...}()` launched from
+			// a loop runs once per goroutine, not once per iteration.
+			depth := 0
+			var saved []int
+			var stack []ast.Node
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					switch top.(type) {
+					case *ast.ForStmt, *ast.RangeStmt:
+						depth--
+					case *ast.FuncLit:
+						depth, saved = saved[len(saved)-1], saved[:len(saved)-1]
+					}
+					return true
+				}
+				stack = append(stack, n)
+				switch n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					depth++
+				case *ast.FuncLit:
+					saved = append(saved, depth)
+					depth = 0
+				}
+				if call, ok := n.(*ast.CallExpr); ok && depth > 0 {
+					if fn := calleeFunc(pkg.Info, call); fn != nil && fn.FullName() == "time.Sleep" {
+						out = append(out, m.diagf(nameSleepRetry, call.Pos(),
+							"time.Sleep in a loop in %s: retry/poll cadence must come from internal/backoff (jitter + cap), not a hard-coded sleep", pkg.Rel))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

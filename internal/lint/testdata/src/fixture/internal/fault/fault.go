@@ -3,6 +3,8 @@
 // a hot-path critical section.
 package fault
 
+import "time"
+
 // Decision mirrors the real injector's verdict for one operation.
 type Decision int
 
@@ -28,4 +30,15 @@ func (c *Conn) Read(p []byte) (int, error) {
 func (c *Conn) Write(p []byte) (int, error) {
 	c.inj.Next()
 	return len(p), nil
+}
+
+// SimulateFlaky sleeps in a loop INSIDE the fault package: the
+// injector's whole job is to simulate latency, so the sleepretry pass
+// exempts it and this stays silent.
+func SimulateFlaky(rounds int, d func() Decision) {
+	for i := 0; i < rounds; i++ {
+		if d() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
 }

@@ -1,0 +1,42 @@
+package transport
+
+import "time"
+
+// redialForever is the banned shape: a retry loop whose cadence is a
+// hard-coded sleep — no jitter, no backoff.
+func redialForever(dial func() error) {
+	for {
+		if dial() == nil {
+			return
+		}
+		time.Sleep(100 * time.Millisecond) // want sleepretry
+	}
+}
+
+// redialSuppressed carries a justification, so the finding is silent.
+func redialSuppressed(dial func() error) {
+	for {
+		if dial() == nil {
+			return
+		}
+		//lint:ignore sleepretry fixture: documents the suppression syntax
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// settleOnce sleeps outside any loop: a one-shot delay is not a retry
+// cadence and stays legal.
+func settleOnce() {
+	time.Sleep(time.Millisecond)
+}
+
+// workers launches goroutines from a loop; each body's sleep runs once
+// per goroutine, not once per iteration, so it must stay silent.
+func workers(n int, done chan<- struct{}) {
+	for i := 0; i < n; i++ {
+		go func() {
+			time.Sleep(time.Millisecond)
+			done <- struct{}{}
+		}()
+	}
+}

@@ -105,7 +105,7 @@ type P2Snapshot struct {
 // transport quiesce window — transport.SessionTable.Freeze — is cheap;
 // that is how (db, sessions) become one consistent cut.
 func CheckpointP2(srv Server, store *cvs.Store) (*P2Snapshot, error) {
-	p2srv, ok := srv.(*p2)
+	p2srv, ok := unhook(srv).(*p2)
 	if !ok {
 		return nil, fmt.Errorf("server: CheckpointP2 needs an honest Protocol II server, got %v", srv.Protocol())
 	}
@@ -190,7 +190,7 @@ type P3Snapshot struct {
 
 // SaveP3 writes a Protocol III server's full state.
 func SaveP3(w io.Writer, srv Server, store *cvs.Store) error {
-	p3srv, ok := srv.(*p3)
+	p3srv, ok := unhook(srv).(*p3)
 	if !ok {
 		return fmt.Errorf("server: SaveP3 needs an honest Protocol III server, got %v", srv.Protocol())
 	}

@@ -12,6 +12,7 @@ import (
 	"trustedcvs/internal/core/proto1"
 	"trustedcvs/internal/core/proto2"
 	"trustedcvs/internal/core/proto3"
+	"trustedcvs/internal/digest"
 	"trustedcvs/internal/vdb"
 )
 
@@ -86,6 +87,48 @@ func NewP2(db *vdb.DB) Server { return &p2{inner: proto2.NewServer(db)} }
 
 // NewP3 wraps a Protocol III server.
 func NewP3(db *vdb.DB) Server { return &p3{inner: proto3.NewServer(db)} }
+
+// WithOpHook decorates a server so that after each successfully
+// applied operation, after is invoked with the database head. This is
+// how the witness publisher observes commit cadence without this
+// package importing it (witness imports server for checkpoints).
+//
+// Under the pipelined hot path the head read here may already include
+// a later concurrent op; that is fine for commitment purposes — Head
+// reads the (ctr, root) pair atomically, so whatever pair the hook
+// sees is a real head of the history.
+func WithOpHook(s Server, after func(ctr uint64, root digest.Digest)) Server {
+	return &hooked{Server: s, after: after}
+}
+
+type hooked struct {
+	Server
+	after func(uint64, digest.Digest)
+}
+
+func (h *hooked) HandleOp(req *core.OpRequest) (any, error) {
+	resp, err := h.Server.HandleOp(req)
+	if err == nil {
+		h.after(h.Server.DB().Head())
+	}
+	return resp, err
+}
+
+// Fork keeps the hook on the fork: a forked (malicious) server that
+// keeps committing is exactly the equivocation the witnesses convict.
+func (h *hooked) Fork() Server { return &hooked{Server: h.Server.Fork(), after: h.after} }
+
+// unhook strips op-hook decoration for code (checkpointing) that needs
+// the concrete protocol server underneath.
+func unhook(s Server) Server {
+	for {
+		h, ok := s.(*hooked)
+		if !ok {
+			return s
+		}
+		s = h.Server
+	}
+}
 
 type p1 struct{ inner *proto1.Server }
 

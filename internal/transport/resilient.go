@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"trustedcvs/internal/backoff"
 	"trustedcvs/internal/wire"
 )
 
@@ -22,9 +23,15 @@ type RetryPolicy struct {
 	// (default 8).
 	MaxAttempts int
 	// BackoffMin/BackoffMax bound the exponential backoff between
-	// attempts (defaults 10ms and 2s).
+	// attempts (defaults 10ms and 2s). Each delay carries seeded jitter
+	// so clients that lose a server together do not redial it in
+	// lockstep.
 	BackoffMin time.Duration
 	BackoffMax time.Duration
+	// JitterSeed seeds the jitter stream; 0 draws a random seed. Tests
+	// pass fixed distinct seeds for reproducible, decorrelated
+	// schedules.
+	JitterSeed uint64
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -43,45 +50,101 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// ResilientClient is a Caller that survives connection loss: each Call
-// is wrapped in a wire.SessionRequest and retried across automatic
-// reconnects with bounded exponential backoff until the server
-// *delivers* an answer. Delivery, not success: an application-level
-// error (wire.ErrRemote) is returned immediately — the server applied
-// or rejected the request, retrying would double-apply it. Only
+// Endpoint is one dialable server address a ResilientClient may use.
+type Endpoint struct {
+	// Name identifies the endpoint for health reporting and
+	// quarantining ("primary", "witness-2", ...).
+	Name string
+	// Dial opens a connection to the endpoint.
+	Dial func() (net.Conn, error)
+}
+
+// healthCap bounds an endpoint's integer health score so one long good
+// (or bad) streak cannot take arbitrarily many failures (successes) to
+// forget.
+const healthCap = 8
+
+// endpointState is the client's per-endpoint bookkeeping.
+type endpointState struct {
+	ep          Endpoint
+	health      int
+	quarantined bool
+}
+
+// ResilientClient is a Caller that survives connection loss and, when
+// given several endpoints, primary loss: each Call is wrapped in a
+// wire.SessionRequest and retried across automatic reconnects —
+// failing over to the healthiest non-quarantined endpoint — with
+// bounded, jittered exponential backoff until the server *delivers*
+// an answer. Delivery, not success: an application-level error
+// (wire.ErrRemote) is returned immediately — the server applied or
+// rejected the request, retrying would double-apply it. Only
 // transport failures (reset, timeout, truncation, dial refusal) are
-// retried, and the server's session table makes those retries
-// exactly-once.
+// retried.
+//
+// The session id is one per client, not per endpoint: after a
+// failover, retries present the same (SID, Seq) to the new endpoint,
+// so a promoted witness that restored the primary's session table
+// replays cached outcomes instead of double-applying — the
+// exactly-once cut E15 measures.
 //
 // The peer must be a session-aware transport.Server (ServerOpts with a
 // SessionTable, the post-recovery default).
 type ResilientClient struct {
-	dial func() (net.Conn, error)
-	pol  RetryPolicy
+	pol RetryPolicy
+	src *backoff.Source
 
-	mu     sync.Mutex
-	conn   net.Conn
-	wc     *wire.Conn
-	gen    uint64 // bumped per (re)connect so stale failures don't kill a fresh conn
-	sid    uint64
-	seq    uint64
-	closed bool
+	mu        sync.Mutex
+	endpoints []*endpointState
+	epIdx     int // endpoint the current (or last) conn belongs to
+	conn      net.Conn
+	wc        *wire.Conn
+	gen       uint64 // bumped per (re)connect so stale failures don't kill a fresh conn
+	sid       uint64
+	seq       uint64
+	closed    bool
 
 	reconnects uint64
+	failovers  uint64
 }
 
 // DialResilient returns a resilient client for addr with policy pol
 // (zero value = defaults).
 func DialResilient(addr string, pol RetryPolicy) *ResilientClient {
-	return DialResilientFunc(func() (net.Conn, error) {
-		return net.DialTimeout("tcp", addr, pol.withDefaults().CallTimeout)
-	}, pol)
+	return DialResilientEndpoints([]Endpoint{{
+		Name: addr,
+		Dial: func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, pol.withDefaults().CallTimeout)
+		},
+	}}, pol)
 }
 
 // DialResilientFunc is DialResilient over a custom dialer — how the
 // fault harness interposes flaky connections.
 func DialResilientFunc(dial func() (net.Conn, error), pol RetryPolicy) *ResilientClient {
-	return &ResilientClient{dial: dial, pol: pol.withDefaults(), sid: newSID()}
+	return DialResilientEndpoints([]Endpoint{{Name: "endpoint", Dial: dial}}, pol)
+}
+
+// DialResilientEndpoints returns a resilient client over several
+// endpoints. Order expresses preference: ties in health score go to
+// the earliest endpoint, so list the primary first.
+func DialResilientEndpoints(eps []Endpoint, pol RetryPolicy) *ResilientClient {
+	if len(eps) == 0 {
+		//lint:ignore panicfree constructor misuse by the caller's own code, not reachable from request bytes
+		panic("transport: resilient client needs at least one endpoint")
+	}
+	pol = pol.withDefaults()
+	var src *backoff.Source
+	if pol.JitterSeed != 0 {
+		src = backoff.NewSeededSource(pol.JitterSeed)
+	} else {
+		src = backoff.NewSource()
+	}
+	states := make([]*endpointState, len(eps))
+	for i, ep := range eps {
+		states[i] = &endpointState{ep: ep}
+	}
+	return &ResilientClient{pol: pol, src: src, endpoints: states, sid: newSID()}
 }
 
 // newSID draws a random nonzero session id.
@@ -105,9 +168,93 @@ func (c *ResilientClient) Reconnects() uint64 {
 	return c.reconnects
 }
 
-// ensure returns a live connection and its generation, dialing if
-// needed. The dial happens under mu; that is acceptable because no
-// request I/O is in flight on this client while it has no connection.
+// Failovers reports how many reconnects landed on a different endpoint
+// than the previous connection.
+func (c *ResilientClient) Failovers() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failovers
+}
+
+// EndpointName returns the name of the endpoint the current (or most
+// recent) connection uses.
+func (c *ResilientClient) EndpointName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.endpoints[c.epIdx].ep.Name
+}
+
+// Health returns a snapshot of the per-endpoint health scores
+// (quarantined endpoints are omitted).
+func (c *ResilientClient) Health() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := make(map[string]int, len(c.endpoints))
+	for _, s := range c.endpoints {
+		if !s.quarantined {
+			m[s.ep.Name] = s.health
+		}
+	}
+	return m
+}
+
+// ErrAllQuarantined is returned when every endpoint has been
+// quarantined — the client refuses to talk to servers whose
+// commitments diverged, because "failing over" to a forked server is
+// how a partition attack wins.
+var ErrAllQuarantined = errors.New("transport: every endpoint is quarantined")
+
+// Quarantine permanently bars an endpoint, severing its connection if
+// it is the current one. Called by the driver when the witness
+// cross-check convicts the endpoint of divergence.
+func (c *ResilientClient) Quarantine(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, s := range c.endpoints {
+		if s.ep.Name != name {
+			continue
+		}
+		s.quarantined = true
+		if i == c.epIdx && c.conn != nil {
+			c.conn.Close()
+			c.conn, c.wc = nil, nil
+		}
+	}
+}
+
+// pickLocked selects the healthiest non-quarantined endpoint, earliest
+// index winning ties.
+func (c *ResilientClient) pickLocked() (int, error) {
+	best := -1
+	for i, s := range c.endpoints {
+		if s.quarantined {
+			continue
+		}
+		if best < 0 || s.health > c.endpoints[best].health {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, ErrAllQuarantined
+	}
+	return best, nil
+}
+
+// noteLocked adjusts an endpoint's health score within ±healthCap.
+func (s *endpointState) noteLocked(delta int) {
+	s.health += delta
+	if s.health > healthCap {
+		s.health = healthCap
+	}
+	if s.health < -healthCap {
+		s.health = -healthCap
+	}
+}
+
+// ensure returns a live connection and its generation, dialing the
+// preferred endpoint if needed. The dial happens under mu; that is
+// acceptable because no request I/O is in flight on this client while
+// it has no connection.
 func (c *ResilientClient) ensure() (net.Conn, *wire.Conn, uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -117,10 +264,19 @@ func (c *ResilientClient) ensure() (net.Conn, *wire.Conn, uint64, error) {
 	if c.conn != nil {
 		return c.conn, c.wc, c.gen, nil
 	}
-	conn, err := c.dial()
+	idx, err := c.pickLocked()
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	conn, err := c.endpoints[idx].ep.Dial()
+	if err != nil {
+		c.endpoints[idx].noteLocked(-1)
+		return nil, nil, 0, err
+	}
+	if c.gen > 0 && idx != c.epIdx {
+		c.failovers++
+	}
+	c.epIdx = idx
 	c.conn, c.wc = conn, wire.NewConn(conn)
 	c.gen++
 	if c.gen > 1 {
@@ -130,18 +286,33 @@ func (c *ResilientClient) ensure() (net.Conn, *wire.Conn, uint64, error) {
 }
 
 // drop discards the connection of generation gen, if it is still the
-// current one (a concurrent Call may already have replaced it).
+// current one (a concurrent Call may already have replaced it), and
+// scores the failure against its endpoint.
 func (c *ResilientClient) drop(gen uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.gen == gen && c.conn != nil {
-		c.conn.Close()
-		c.conn, c.wc = nil, nil
+	if c.gen == gen {
+		c.endpoints[c.epIdx].noteLocked(-1)
+		if c.conn != nil {
+			c.conn.Close()
+			c.conn, c.wc = nil, nil
+		}
+	}
+}
+
+// credit scores a delivered response for the endpoint of generation
+// gen.
+func (c *ResilientClient) credit(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen == gen {
+		c.endpoints[c.epIdx].noteLocked(1)
 	}
 }
 
 // Call implements Caller with at-most-once application semantics: the
-// same (SID, Seq) is presented on every retry, so the server either
+// same (SID, Seq) is presented on every retry — across reconnects AND
+// failovers — so whichever server holds the session state either
 // applies the request once and replays the cached response, or reports
 // a transport failure that provably did not reach application.
 func (c *ResilientClient) Call(req any) (any, error) {
@@ -154,17 +325,17 @@ func (c *ResilientClient) Call(req any) (any, error) {
 	sreq := &wire.SessionRequest{SID: c.sid, Seq: c.seq, Req: req}
 	c.mu.Unlock()
 
-	backoff := c.pol.BackoffMin
+	bo := backoff.New(backoff.Policy{Min: c.pol.BackoffMin, Max: c.pol.BackoffMax}, c.src)
 	var lastErr error
 	for attempt := 0; attempt < c.pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
-			if backoff *= 2; backoff > c.pol.BackoffMax {
-				backoff = c.pol.BackoffMax
-			}
+			bo.Sleep()
 		}
 		conn, wc, gen, err := c.ensure()
 		if err != nil {
+			if errors.Is(err, ErrAllQuarantined) {
+				return nil, err
+			}
 			lastErr = err
 			continue
 		}
@@ -174,11 +345,13 @@ func (c *ResilientClient) Call(req any) (any, error) {
 		resp, err := wc.Call(sreq)
 		if err == nil {
 			_ = conn.SetDeadline(time.Time{})
+			c.credit(gen)
 			return resp, nil
 		}
 		if errors.Is(err, wire.ErrRemote) {
 			// Delivered: the handler's verdict came back. Not a fault.
 			_ = conn.SetDeadline(time.Time{})
+			c.credit(gen)
 			return nil, err
 		}
 		lastErr = err

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"trustedcvs/internal/backoff"
 	"trustedcvs/internal/fault"
 	"trustedcvs/internal/wire"
 )
@@ -343,5 +344,149 @@ func TestServerShutdownDrains(t *testing.T) {
 	}
 	if err := <-got; err != nil {
 		t.Fatalf("in-flight call must complete through graceful shutdown: %v", err)
+	}
+}
+
+func TestResilientClientFailsOverAcrossEndpoints(t *testing.T) {
+	// Two session-aware servers sharing one session table lineage: the
+	// backup restores the primary's frozen sessions, as a promoted
+	// witness would.
+	var applied atomic.Int64
+	h := func(req any) (any, error) { applied.Add(1); return req, nil }
+	tbl := NewSessionTable(0)
+	primary, err := ListenOpts("127.0.0.1:0", h, Options{Sessions: tbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := DialResilientEndpoints([]Endpoint{
+		{Name: "primary", Dial: func() (net.Conn, error) { return net.DialTimeout("tcp", primary.Addr(), time.Second) }},
+	}, RetryPolicy{CallTimeout: time.Second, MaxAttempts: 20, BackoffMin: time.Millisecond, BackoffMax: 20 * time.Millisecond})
+	defer c.Close()
+	if _, err := c.Call("before"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promote: freeze sessions, kill the primary, start the backup with
+	// the restored table, and register it as a second endpoint.
+	var snap *SessionsSnapshot
+	tbl.Freeze(func(s *SessionsSnapshot) { snap = s })
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tbl2 := NewSessionTable(0)
+	tbl2.RestoreSessions(snap)
+	backup, err := ListenOpts("127.0.0.1:0", h, Options{Sessions: tbl2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backup.Close()
+	c.mu.Lock()
+	c.endpoints = append(c.endpoints, &endpointState{ep: Endpoint{
+		Name: "backup",
+		Dial: func() (net.Conn, error) { return net.DialTimeout("tcp", backup.Addr(), time.Second) },
+	}})
+	c.mu.Unlock()
+
+	// Calls against the dead primary must fail over to the backup with
+	// the same session identity.
+	for i := 0; i < 5; i++ {
+		if _, err := c.Call(fmt.Sprintf("after%d", i)); err != nil {
+			t.Fatalf("after%d: %v", i, err)
+		}
+	}
+	if applied.Load() != 6 {
+		t.Fatalf("applied=%d, want 6 (exactly-once across failover)", applied.Load())
+	}
+	if c.Failovers() == 0 {
+		t.Fatal("client reports no failover despite primary death")
+	}
+	if got := c.EndpointName(); got != "backup" {
+		t.Fatalf("current endpoint = %q, want backup", got)
+	}
+	if h := c.Health(); h["backup"] <= h["primary"] {
+		t.Fatalf("health scoring did not demote the dead primary: %v", h)
+	}
+}
+
+func TestResilientClientQuarantine(t *testing.T) {
+	var applied atomic.Int64
+	h := func(req any) (any, error) { applied.Add(1); return req, nil }
+	a, err := ListenOpts("127.0.0.1:0", h, Options{Sessions: NewSessionTable(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenOpts("127.0.0.1:0", h, Options{Sessions: NewSessionTable(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	dialTo := func(addr string) func() (net.Conn, error) {
+		return func() (net.Conn, error) { return net.DialTimeout("tcp", addr, time.Second) }
+	}
+	c := DialResilientEndpoints([]Endpoint{
+		{Name: "a", Dial: dialTo(a.Addr())},
+		{Name: "b", Dial: dialTo(b.Addr())},
+	}, RetryPolicy{CallTimeout: time.Second, BackoffMin: time.Millisecond, BackoffMax: 10 * time.Millisecond})
+	defer c.Close()
+	if _, err := c.Call("x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.EndpointName(); got != "a" {
+		t.Fatalf("preference order broken: on %q", got)
+	}
+	// Quarantining the live endpoint severs it and routes to b.
+	c.Quarantine("a")
+	if _, err := c.Call("y"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.EndpointName(); got != "b" {
+		t.Fatalf("quarantined endpoint still used: on %q", got)
+	}
+	if _, ok := c.Health()["a"]; ok {
+		t.Fatal("quarantined endpoint still reported healthy")
+	}
+	// Quarantining everything fails fast, no blind retries.
+	c.Quarantine("b")
+	start := time.Now()
+	if _, err := c.Call("z"); !errors.Is(err, ErrAllQuarantined) {
+		t.Fatalf("want ErrAllQuarantined, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("all-quarantined call burned the retry budget instead of failing fast")
+	}
+}
+
+// TestResilientBackoffJitterDecorrelates is the reconnect-stampede
+// regression (satellite fix): two clients with distinct seeds facing
+// the same dead endpoint must not sleep identical schedules.
+func TestResilientBackoffJitterDecorrelates(t *testing.T) {
+	down := func() (net.Conn, error) { return nil, errors.New("refused") }
+	// Pull the jittered delays straight from each client's backoff
+	// stream (exactly what Call draws from) instead of timing sleeps.
+	schedule := func(seed uint64) []time.Duration {
+		c := DialResilientFunc(down, RetryPolicy{
+			CallTimeout: time.Second, MaxAttempts: 6,
+			BackoffMin: 2 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+			JitterSeed: seed,
+		})
+		defer c.Close()
+		bo := backoff.New(backoff.Policy{Min: c.pol.BackoffMin, Max: c.pol.BackoffMax}, c.src)
+		var ds []time.Duration
+		for i := 0; i < 8; i++ {
+			ds = append(ds, bo.Next())
+		}
+		return ds
+	}
+	a, b := schedule(1), schedule(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two differently-seeded clients produced identical backoff schedules")
 	}
 }

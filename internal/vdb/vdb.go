@@ -170,6 +170,17 @@ func (db *DB) Root() digest.Digest {
 	return t.RootDigest()
 }
 
+// Head returns the operation counter and root as one consistent pair.
+// Separate Ctr/Root calls can interleave with a concurrent Apply and
+// pair a counter with the wrong tree; a commitment built from such a
+// torn pair would read as a fork at every honest witness.
+func (db *DB) Head() (uint64, digest.Digest) {
+	db.mu.Lock()
+	ctr, t := db.ctr, db.tree
+	db.mu.Unlock()
+	return ctr, t.RootDigest()
+}
+
 // Len returns the number of records.
 func (db *DB) Len() int {
 	db.mu.Lock()

@@ -1,0 +1,190 @@
+package witness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"trustedcvs/internal/digest"
+	"trustedcvs/internal/server"
+)
+
+// DefaultCommitEvery is the commitment cadence (in database
+// operations) when the caller passes 0.
+const DefaultCommitEvery = 8
+
+// Publisher is the primary server's side of witness replication: it
+// chains and signs commitments over the database head and fans each
+// one out to every registered witness. The signing section is a
+// mutex-ordered few microseconds; the network fan-out runs on a
+// goroutine per commitment so the operation hot path never waits on a
+// witness.
+type Publisher struct {
+	id    *Identity
+	every uint64
+
+	mu        sync.Mutex
+	seq       uint64
+	prev      digest.Digest
+	nextAt    uint64 // commit when ctr reaches this
+	witnesses map[string]DialFunc
+
+	wg sync.WaitGroup
+
+	errMu   sync.Mutex
+	lastErr error
+}
+
+// NewPublisher creates a publisher for the given identity. every is
+// the commitment cadence in operations (0 = DefaultCommitEvery).
+func NewPublisher(id *Identity, every uint64) *Publisher {
+	if every == 0 {
+		every = DefaultCommitEvery
+	}
+	return &Publisher{
+		id:        id,
+		every:     every,
+		nextAt:    every,
+		witnesses: make(map[string]DialFunc),
+	}
+}
+
+// Identity returns the publisher's signing identity.
+func (p *Publisher) Identity() *Identity { return p.id }
+
+// AddWitness registers a witness endpoint.
+func (p *Publisher) AddWitness(name string, dial DialFunc) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.witnesses[name] = dial
+}
+
+// OpApplied is the server-side hook: call it with the database head
+// after each applied operation. Heads must be consistent (vdb.DB.Head)
+// but need not be strictly ordered across callers — a stale head is
+// simply skipped by the cadence gate.
+func (p *Publisher) OpApplied(ctr uint64, root digest.Digest) {
+	p.mu.Lock()
+	if ctr < p.nextAt {
+		p.mu.Unlock()
+		return
+	}
+	c := p.commitLocked(ctr, root)
+	p.mu.Unlock()
+	p.fanOut(c)
+}
+
+// CommitNow signs and publishes a commitment at the given head
+// immediately, regardless of cadence — used at checkpoint boundaries
+// and by tests. It does not wait for delivery; use Flush.
+func (p *Publisher) CommitNow(ctr uint64, root digest.Digest) {
+	p.mu.Lock()
+	c := p.commitLocked(ctr, root)
+	p.mu.Unlock()
+	p.fanOut(c)
+}
+
+func (p *Publisher) commitLocked(ctr uint64, root digest.Digest) *SubmitRequest {
+	p.seq++
+	c := p.id.Commit(p.seq, ctr, root, p.prev)
+	p.prev = root
+	p.nextAt = ctr + p.every
+	return &SubmitRequest{Commit: c, Pub: append([]byte(nil), p.id.Public()...)}
+}
+
+// fanOut delivers one commitment to every witness, best-effort, off
+// the caller's goroutine. A witness that is down misses this
+// commitment and catches up by gossip.
+func (p *Publisher) fanOut(req *SubmitRequest) {
+	p.mu.Lock()
+	targets := make(map[string]DialFunc, len(p.witnesses))
+	for name, dial := range p.witnesses {
+		targets[name] = dial
+	}
+	p.mu.Unlock()
+	for name, dial := range targets {
+		p.wg.Add(1)
+		go func(name string, dial DialFunc) {
+			defer p.wg.Done()
+			if err := deliver(dial, req); err != nil {
+				p.noteErr(fmt.Errorf("publish to %s: %w", name, err))
+			}
+		}(name, dial)
+	}
+}
+
+func deliver(dial DialFunc, req any) error {
+	caller, err := dial()
+	if err != nil {
+		return err
+	}
+	defer caller.Close()
+	_, err = caller.Call(req)
+	return err
+}
+
+func (p *Publisher) noteErr(err error) {
+	p.errMu.Lock()
+	p.lastErr = err
+	p.errMu.Unlock()
+}
+
+// LastErr returns the most recent delivery failure (nil when all
+// deliveries so far succeeded). Purely informational: delivery is
+// best-effort by design.
+func (p *Publisher) LastErr() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.lastErr
+}
+
+// Flush waits for every in-flight delivery to finish. Call before
+// asserting on witness state (tests) or before shutting down.
+func (p *Publisher) Flush() { p.wg.Wait() }
+
+// ShipSnapshot encodes a checkpoint and delivers it, with a fresh
+// commitment over the same head, to every witness synchronously. The
+// snapshot must have been cut under a transport freeze (see
+// server.CheckpointP2); err aggregates per-witness failures, and the
+// shipment counts as delivered if at least one witness accepted —
+// the quorum read at promotion time tolerates stragglers.
+func (p *Publisher) ShipSnapshot(snap *server.P2Snapshot) error {
+	var buf bytes.Buffer
+	if err := server.EncodeP2Snapshot(&buf, snap); err != nil {
+		return err
+	}
+	// Re-derive the head from the snapshot itself rather than trusting a
+	// caller-supplied pair: the publisher never commits to a head it did
+	// not read out of the bytes being shipped.
+	srv, _, err := server.RestoreP2(snap)
+	if err != nil {
+		return err
+	}
+	ctr, root := srv.DB().Head()
+	p.CommitNow(ctr, root)
+	put := &SnapshotPut{Server: p.id.Name(), Ctr: ctr, Root: root, Data: buf.Bytes()}
+
+	p.mu.Lock()
+	targets := make(map[string]DialFunc, len(p.witnesses))
+	for name, dial := range p.witnesses {
+		targets[name] = dial
+	}
+	p.mu.Unlock()
+	if len(targets) == 0 {
+		return errors.New("witness: no witnesses registered to ship snapshot to")
+	}
+	var errs []error
+	delivered := 0
+	for name, dial := range targets {
+		if err := deliver(dial, put); err != nil {
+			errs = append(errs, fmt.Errorf("ship snapshot to %s: %w", name, err))
+			continue
+		}
+		delivered++
+	}
+	if delivered == 0 {
+		return errors.Join(errs...)
+	}
+	return nil
+}

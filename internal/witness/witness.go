@@ -1,0 +1,260 @@
+// Package witness implements the availability layer of Trusted CVS:
+// N independent witness servers that receive the primary's signed
+// epoch root commitments, cross-audit them by gossip, convert any fork
+// into a signed evidence bundle (internal/forensics), and hold the
+// checksummed checkpoint from which one of them can be promoted when
+// the primary dies.
+//
+// Trust model: witnesses are exactly as untrusted as the primary. A
+// witness can lie, stall, or collude — but it cannot forge the
+// primary's Ed25519 signature, so the only damage a lying witness can
+// do is withhold information (handled by quorum: clients require
+// agreement from a quorum of witnesses, so one mute or lying witness
+// changes nothing). Divergence therefore yields *evidence*, never
+// repair: the system's job, per the paper, is to detect and prove
+// deviation, not to reconcile two histories neither of which is
+// trusted.
+//
+// An Identity's commitment stream is single-incarnation: Seq is
+// monotone for the life of the process. A recovered primary must
+// either restore its publisher counters with its checkpoint or come
+// back under a fresh identity (promotion does the latter), because a
+// same-name restart that re-commits from Seq 1 is indistinguishable
+// from equivocation — by design.
+package witness
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"trustedcvs/internal/digest"
+	"trustedcvs/internal/forensics"
+)
+
+// Identity is a server's signing identity for commitment publication
+// — the server-side analogue of sig.Signer, which is deliberately not
+// reused: users sign protocol states, servers sign commitments, and
+// the two key spaces must never overlap.
+type Identity struct {
+	name string
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewIdentity generates a fresh identity named name using crypto/rand.
+func NewIdentity(name string) (*Identity, error) {
+	return NewIdentityFrom(name, rand.Reader)
+}
+
+// NewIdentityFrom generates an identity from the given entropy source
+// (tests pass a seeded reader).
+func NewIdentityFrom(name string, r io.Reader) (*Identity, error) {
+	if name == "" {
+		return nil, errors.New("witness: identity needs a non-empty name")
+	}
+	pub, priv, err := ed25519.GenerateKey(r)
+	if err != nil {
+		return nil, fmt.Errorf("witness: generate identity %q: %w", name, err)
+	}
+	return &Identity{name: name, priv: priv, pub: pub}, nil
+}
+
+// Name returns the identity's stable name.
+func (id *Identity) Name() string { return id.name }
+
+// Public returns the identity's public key.
+func (id *Identity) Public() ed25519.PublicKey { return id.pub }
+
+// Commit builds and signs one commitment in this identity's stream.
+func (id *Identity) Commit(seq, ctr uint64, root, prev digest.Digest) *forensics.Commitment {
+	h := forensics.CommitmentHash(id.name, seq, ctr, root, prev)
+	return &forensics.Commitment{
+		Server: id.name,
+		Seq:    seq,
+		Ctr:    ctr,
+		Root:   root,
+		Prev:   prev,
+		Sig:    ed25519.Sign(id.priv, h[:]),
+	}
+}
+
+// DefaultWindow is how many recent commitments a Log retains when the
+// caller passes 0. The window bounds witness memory (the paper's
+// desideratum 5 extended to witnesses) and is also the fork-detection
+// horizon: two fork branches are caught as long as their commitments
+// land within one window of each other, which gossiping every round
+// guarantees.
+const DefaultWindow = 64
+
+// ErrKeyConflict is returned when a commitment claims a server name
+// already pinned to a different public key.
+var ErrKeyConflict = errors.New("witness: conflicting public key for server")
+
+// Log is one witness's bounded view of one server's commitment
+// stream, indexed for the three conflict predicates (same-ctr fork,
+// same-seq equivocation, chain break). Append is where divergence
+// detection happens: the first time two validly signed, conflicting
+// commitments meet in the same Log — whether by direct submission or
+// by gossip — an Evidence bundle is born.
+type Log struct {
+	mu     sync.Mutex
+	server string
+	pub    ed25519.PublicKey
+	window int
+	bySeq  map[uint64]*forensics.Commitment
+	byCtr  map[uint64]*forensics.Commitment
+	order  []uint64 // seqs in arrival order, for eviction
+}
+
+// NewLog creates a log for the named server. pub may be nil, in which
+// case the first validly structured submission pins the key
+// (trust-on-first-use; production deployments pass the key from
+// configuration). window 0 selects DefaultWindow.
+func NewLog(server string, pub ed25519.PublicKey, window int) *Log {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Log{
+		server: server,
+		pub:    pub,
+		window: window,
+		bySeq:  make(map[uint64]*forensics.Commitment),
+		byCtr:  make(map[uint64]*forensics.Commitment),
+	}
+}
+
+// Server returns the name of the server this log audits.
+func (l *Log) Server() string { return l.server }
+
+// Public returns the pinned public key (nil if nothing submitted yet).
+func (l *Log) Public() ed25519.PublicKey {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pub
+}
+
+// Append verifies and stores one commitment. It returns a non-nil
+// Evidence when c conflicts with a commitment already in the log —
+// the commitment is still stored, so the log keeps accumulating both
+// fork branches for later audits. Duplicate submissions are no-ops.
+func (l *Log) Append(c *forensics.Commitment, pub ed25519.PublicKey) (*forensics.Evidence, error) {
+	if c == nil {
+		return nil, errors.New("witness: nil commitment")
+	}
+	if c.Server != l.server {
+		return nil, fmt.Errorf("witness: commitment for %q submitted to log of %q", c.Server, l.server)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pub == nil {
+		if len(pub) != ed25519.PublicKeySize {
+			return nil, fmt.Errorf("witness: no key pinned for %q and submission carries none", l.server)
+		}
+		l.pub = append(ed25519.PublicKey(nil), pub...)
+	} else if pub != nil && !l.pub.Equal(pub) {
+		return nil, fmt.Errorf("%w %q", ErrKeyConflict, l.server)
+	}
+	if err := c.Verify(l.pub); err != nil {
+		return nil, err
+	}
+	if old := l.bySeq[c.Seq]; old != nil && old.Same(c) {
+		return nil, nil
+	}
+	ev := l.conflictLocked(c)
+	l.insertLocked(c)
+	return ev, nil
+}
+
+// conflictLocked scans the three predicates against the stored window.
+func (l *Log) conflictLocked(c *forensics.Commitment) *forensics.Evidence {
+	for _, old := range []*forensics.Commitment{
+		l.bySeq[c.Seq],   // equivocation: two payloads under one seq
+		l.byCtr[c.Ctr],   // fork: two roots for one ctr
+		l.bySeq[c.Seq-1], // chain break: Prev contradicts seq-1's Root
+		l.bySeq[c.Seq+1], // chain break, other direction
+	} {
+		if old == nil {
+			continue
+		}
+		if old.Conflicts(c) != "" {
+			return &forensics.Evidence{
+				Server:    l.server,
+				Pub:       append([]byte(nil), l.pub...),
+				A:         *old,
+				B:         *c,
+				Witnesses: nil, // filled by the owning node
+			}
+		}
+	}
+	return nil
+}
+
+func (l *Log) insertLocked(c *forensics.Commitment) {
+	if _, ok := l.bySeq[c.Seq]; !ok {
+		l.order = append(l.order, c.Seq)
+	}
+	l.bySeq[c.Seq] = c
+	l.byCtr[c.Ctr] = c
+	for len(l.order) > l.window {
+		evict := l.order[0]
+		l.order = l.order[1:]
+		if old := l.bySeq[evict]; old != nil {
+			delete(l.bySeq, evict)
+			if l.byCtr[old.Ctr] == old {
+				delete(l.byCtr, old.Ctr)
+			}
+		}
+	}
+	// A flood of conflicting re-submissions under already-present seqs
+	// can orphan byCtr entries (their bySeq partner was overwritten, so
+	// eviction never reaches them). Rebuild from bySeq when the index
+	// outgrows the window, keeping witness memory bounded even under an
+	// adversarial submitter.
+	if len(l.byCtr) > 2*l.window {
+		nb := make(map[uint64]*forensics.Commitment, len(l.bySeq))
+		for _, cc := range l.bySeq {
+			nb[cc.Ctr] = cc
+		}
+		l.byCtr = nb
+	}
+}
+
+// Latest returns the stored commitment with the highest Seq (nil when
+// empty).
+func (l *Log) Latest() *forensics.Commitment {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var best *forensics.Commitment
+	for _, c := range l.bySeq {
+		if best == nil || c.Seq > best.Seq {
+			best = c
+		}
+	}
+	return best
+}
+
+// At returns the stored commitment for an operation counter (nil when
+// none in the window).
+func (l *Log) At(ctr uint64) *forensics.Commitment {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.byCtr[ctr]
+}
+
+// Window returns the stored commitments in arrival order — what one
+// gossip round ships to a peer.
+func (l *Log) Window() []*forensics.Commitment {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*forensics.Commitment, 0, len(l.order))
+	for _, seq := range l.order {
+		if c := l.bySeq[seq]; c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -21,10 +21,12 @@ go vet ./...
 go build ./...
 go run ./cmd/tcvs-lint ./...
 go test -race ./...
-# The full race run above already includes the fault suite; this named
-# pass keeps the PR's acceptance scenario (kill/restart a live server
-# mid-workload over faulty connections) one command away.
-go test -race -run 'Fault|Resilient|Resume|Recovery|E14' ./internal/fault ./internal/transport ./internal/broadcast ./internal/server ./internal/bench
+# The full race run above already includes the fault and witness
+# suites; this named pass keeps the PRs' acceptance scenarios one
+# command away: kill/restart a live server mid-workload over faulty
+# connections (E14), and kill the primary for good — witness promotion,
+# client failover, fork conviction by gossip, zero false alarms (E15).
+go test -race -run 'Fault|Resilient|Resume|Recovery|Witness|E14|E15' ./internal/fault ./internal/transport ./internal/broadcast ./internal/server ./internal/witness ./internal/bench
 
 go test -run='^$' -fuzz='^FuzzFrameDecode$' -fuzztime=10s ./internal/wire
 go test -run='^$' -fuzz='^FuzzVOVerify$' -fuzztime=10s ./internal/merkle

@@ -1,0 +1,122 @@
+package trustedcvs_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"trustedcvs"
+)
+
+// TestClusterWitnessHonest: an honest witnessed cluster completes its
+// sync rounds with zero false alarms — the witness cross-check that
+// runs before each round is acknowledged never fires, no evidence
+// accumulates, and no check is skipped for lack of quorum.
+func TestClusterWitnessHonest(t *testing.T) {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{
+		Protocol: trustedcvs.ProtocolII, Users: 2, SyncEvery: 4,
+		Witnesses: 3, CommitEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	for i := 0; i < 10; i++ {
+		for u := 0; u < 2; u++ {
+			if _, err := cluster.Repo(u, "dev").Commit(map[string][]byte{"f": []byte(fmt.Sprintf("u%d-%d\n", u, i))}, "", nil); err != nil {
+				t.Fatalf("honest witnessed commit failed (false alarm?): %v", err)
+			}
+		}
+		for u := 0; u < 2; u++ {
+			if err := cluster.WaitIdle(u, 5*time.Second); err != nil {
+				t.Fatalf("sync under witnessing failed: %v", err)
+			}
+		}
+	}
+	if err := cluster.GossipWitnesses(); err != nil {
+		t.Fatalf("gossip: %v", err)
+	}
+	if evs := cluster.WitnessEvidence(); len(evs) != 0 {
+		t.Fatalf("honest run accumulated evidence: %v", evs)
+	}
+}
+
+// TestClusterWitnessDivergenceP3: under Protocol III a fork would
+// normally stay hidden until the epoch-end backup check; the witness
+// cross-check catches it at commitment cadence instead. The forked
+// user's verified roots contradict the signed commitments the
+// witnesses hold for the main branch, and the check converts that
+// into a WitnessDivergence detection — while the main-branch user's
+// check stays clean.
+func TestClusterWitnessDivergenceP3(t *testing.T) {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{
+		Protocol: trustedcvs.ProtocolIII, Users: 2, JournalCap: 128,
+		Witnesses: 3, CommitEvery: 1,
+		Malice: trustedcvs.Malice{Behavior: "fork", TriggerOp: 3, GroupB: []trustedcvs.UserID{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	for i := 0; i < 4; i++ {
+		for u := 0; u < 2; u++ {
+			if _, err := cluster.Repo(u, "dev").Commit(map[string][]byte{"f": []byte(fmt.Sprintf("u%d-%d\n", u, i))}, "", nil); err != nil {
+				t.Fatalf("user %d op %d: %v", u, i, err)
+			}
+		}
+	}
+	cluster.CommitHead()
+
+	if err := cluster.VerifyWitnesses(0); err != nil {
+		t.Fatalf("main-branch user false-alarmed: %v", err)
+	}
+	err = cluster.VerifyWitnesses(1)
+	det, ok := trustedcvs.AsDetection(err)
+	if !ok {
+		t.Fatalf("forked user's witness check passed: %v", err)
+	}
+	if det.Class != trustedcvs.WitnessDivergence {
+		t.Fatalf("detection class = %v, want witness-divergence", det.Class)
+	}
+	if cluster.Err(1) == nil {
+		t.Fatal("detection not pinned on the client")
+	}
+
+	// The journals recorded under Protocol III localize the fault just
+	// as they do under I/II (the fork snapshot excludes the TriggerOp).
+	rep := cluster.Forensics()
+	if rep == nil || !rep.Located {
+		t.Fatalf("P3 forensics failed to localize: %+v", rep)
+	}
+	if len(rep.Branches) != 2 {
+		t.Fatalf("branch split wrong: %s", rep)
+	}
+}
+
+// TestClusterForensicsP3Honest: Protocol III journals on an honest
+// run stay consistent — Locate reports no fork.
+func TestClusterForensicsP3Honest(t *testing.T) {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{
+		Protocol: trustedcvs.ProtocolIII, Users: 2, JournalCap: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	for i := 0; i < 5; i++ {
+		for u := 0; u < 2; u++ {
+			if _, err := cluster.Repo(u, "dev").Commit(map[string][]byte{"f": []byte(fmt.Sprintf("h%d-%d\n", u, i))}, "", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rep := cluster.Forensics()
+	if rep == nil {
+		t.Fatal("journals enabled but no report")
+	}
+	if rep.Located {
+		t.Fatalf("honest P3 run located a fork: %s", rep)
+	}
+}

@@ -32,6 +32,13 @@ type ClusterConfig struct {
 	SyncEvery uint64
 	// MerkleOrder is the B+-tree branching factor (0 = default).
 	MerkleOrder int
+	// Shards splits the item space into this many independently locked
+	// Merkle trees folded under one signed root-of-roots (0 or 1 = the
+	// classic single tree). Requires Protocol II; the per-user
+	// transition journal (JournalCap) is single-tree only. CVS
+	// operations colocate on one shard; raw key-value operations route
+	// by key hash, and CrossOp spans shards atomically.
+	Shards int
 	// KeySeed seeds the deterministic demo key ring. Production
 	// deployments generate keys with crypto/rand out of band; the
 	// in-process cluster favors reproducibility.
@@ -88,7 +95,19 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.KeySeed == 0 {
 		cfg.KeySeed = 1
 	}
-	db := vdb.New(cfg.MerkleOrder)
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 || cfg.Shards > vdb.MaxShards {
+		return nil, fmt.Errorf("trustedcvs: shard count %d out of range [1, %d]", cfg.Shards, vdb.MaxShards)
+	}
+	if cfg.Shards > 1 && cfg.Protocol != ProtocolII {
+		return nil, fmt.Errorf("trustedcvs: a Merkle forest (%d shards) requires Protocol II", cfg.Shards)
+	}
+	if cfg.Shards > 1 && cfg.JournalCap > 0 {
+		return nil, fmt.Errorf("trustedcvs: transition journals are single-tree only (Shards=1)")
+	}
+	db := vdb.NewSharded(cfg.MerkleOrder, cfg.Shards)
 	signers, ring, err := sig.DeterministicSigners(cfg.Users, cfg.KeySeed)
 	if err != nil {
 		return nil, err
@@ -190,7 +209,12 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 				c.Close()
 				return nil, err
 			}
-			u := proto2.NewUser(sig.UserID(i), db.Root(), cfg.SyncEvery)
+			var u *proto2.User
+			if cfg.Shards > 1 {
+				u = proto2.NewForestUser(sig.UserID(i), db.ShardRoots(), cfg.SyncEvery)
+			} else {
+				u = proto2.NewUser(sig.UserID(i), db.Root(), cfg.SyncEvery)
+			}
 			if cfg.JournalCap > 0 {
 				u.EnableJournal(cfg.JournalCap)
 			}

@@ -1,4 +1,4 @@
-// Command tcvs-bench regenerates the experiment tables E1–E15 (see
+// Command tcvs-bench regenerates the experiment tables E1–E16 (see
 // DESIGN.md §2 for the mapping to the paper's figures, theorems and
 // design claims, and EXPERIMENTS.md for recorded results).
 //
@@ -9,6 +9,12 @@
 //	tcvs-bench -e E13     # concurrency benchmark; also writes BENCH_E13.json
 //	tcvs-bench -e E14     # fault/recovery experiment; writes BENCH_E14.json
 //	tcvs-bench -e E15     # witness replication/failover; writes BENCH_E15.json
+//	tcvs-bench -e E16     # Merkle forest scaling sweep; writes BENCH_E16.json
+//
+// Experiments that record a BENCH_<ID>.json refuse to overwrite an
+// existing record unless -force is given: checked-in records are the
+// repo's evidence, and clobbering one by accident destroys the number
+// a PR was accepted on.
 package main
 
 import (
@@ -21,8 +27,9 @@ import (
 )
 
 func main() {
-	var e = flag.String("e", "all", "experiment to run: E1..E15 or all")
-	var out = flag.String("o", "", "output path for E13/E14/E15's JSON record (default BENCH_<ID>.json)")
+	var e = flag.String("e", "all", "experiment to run: E1..E16 or all")
+	var out = flag.String("o", "", "output path for E13–E16's JSON record (default BENCH_<ID>.json)")
+	var force = flag.Bool("force", false, "overwrite an existing BENCH_<ID>.json record")
 	flag.Parse()
 
 	if *e == "all" {
@@ -31,9 +38,21 @@ func main() {
 		}
 		return
 	}
-	// E13–E15 run through their Run functions so the raw data can be
+	// E13–E16 run through their Run functions so the raw data can be
 	// recorded alongside the rendered table.
-	if *e == "E13" || *e == "E14" || *e == "E15" {
+	if *e == "E13" || *e == "E14" || *e == "E15" || *e == "E16" {
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", *e)
+		}
+		// Refuse to clobber an existing record before burning minutes on
+		// the measurement.
+		if !*force {
+			if _, err := os.Stat(path); err == nil {
+				fmt.Fprintf(os.Stderr, "%s exists; re-run with -force to overwrite it\n", path)
+				os.Exit(1)
+			}
+		}
 		var d interface {
 			Table() *bench.Table
 			WriteJSON(w io.Writer) error
@@ -44,18 +63,16 @@ func main() {
 			d, err = bench.RunE13(bench.DefaultE13Config())
 		case "E14":
 			d, err = bench.RunE14(bench.DefaultE14Config())
-		default:
+		case "E15":
 			d, err = bench.RunE15(bench.DefaultE15Config())
+		default:
+			d, err = bench.RunE16(bench.DefaultE16Config())
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", *e, err)
 			os.Exit(1)
 		}
 		d.Table().Render(os.Stdout)
-		path := *out
-		if path == "" {
-			path = fmt.Sprintf("BENCH_%s.json", *e)
-		}
 		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", *e, err)
@@ -71,7 +88,7 @@ func main() {
 	}
 	run, ok := bench.ByID(*e)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E15 or all)\n", *e)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E16 or all)\n", *e)
 		os.Exit(2)
 	}
 	run().Render(os.Stdout)

@@ -53,10 +53,11 @@ func main() {
 		hubAddr  = flag.String("hub", "", "also host a broadcast hub on this address (demo convenience)")
 		proto    = flag.String("proto", "2", "protocol: 1, 2 or 3")
 		order    = flag.Int("order", 0, "Merkle branching factor (0 = default)")
+		shards   = flag.Int("shards", 1, "split the authenticated DB into this many Merkle shards under a signed root-of-roots (protocol 2 only)")
 		users    = flag.Int("users", 8, "user population (key ring size, protocol 1 only)")
 		seed     = flag.Int64("seed", 1, "deterministic key seed shared with clients (protocol 1 only)")
 		epoch    = flag.Duration("epoch", 30*time.Second, "epoch length (protocol 3 only)")
-		behavior = flag.String("behavior", "honest", "malicious behavior: honest, fork, replay-stale, drop-update, tamper-answer, tamper-state, counter-replay, stall-epochs, withhold-backup")
+		behavior = flag.String("behavior", "honest", "malicious behavior: honest, fork, replay-stale, drop-update, tamper-answer, tamper-state, counter-replay, stall-epochs, withhold-backup, torn-commit")
 		trigger  = flag.Uint64("trigger", 0, "operation index at which the behavior activates")
 		groupB   = flag.String("group-b", "", "comma-separated user IDs served from the fork")
 		target   = flag.Uint("target", 0, "victim user for replay-stale / withhold-backup")
@@ -81,7 +82,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *shards < 1 || *shards > vdb.MaxShards {
+		log.Fatalf("-shards %d outside [1, %d]", *shards, vdb.MaxShards)
+	}
+	if *shards > 1 && p != server.P2 {
+		log.Fatalf("-shards needs -proto 2 (forest mode is a Protocol II feature)")
+	}
 	db := vdb.New(*order)
+	if *shards > 1 {
+		db = vdb.NewSharded(*order, *shards)
+		log.Printf("Merkle forest: %d shards under one signed root-of-roots", *shards)
+	}
 	// The session table gives reconnecting clients exactly-once retry
 	// semantics; it is checkpointed and restored alongside the database
 	// so retries from before a crash still replay instead of re-applying.
@@ -299,6 +310,8 @@ func parseBehavior(name string, trigger uint64, groupB string, target sig.UserID
 		cfg.Kind = adversary.StallEpochs
 	case "withhold-backup":
 		cfg.Kind = adversary.WithholdBackup
+	case "torn-commit":
+		cfg.Kind = adversary.TornCommit
 	default:
 		return cfg, fmt.Errorf("unknown behavior %q", name)
 	}

@@ -62,6 +62,7 @@ func run() error {
 		user       = flag.Uint("user", 0, "this user's ID")
 		users      = flag.Int("users", 2, "total user population")
 		k          = flag.Uint64("k", 16, "sync period (operations)")
+		shards     = flag.Int("shards", 1, "shard count of the server's Merkle forest (must match tcvs-server -shards; protocol 2 only)")
 		seed       = flag.Int64("seed", 1, "deterministic key seed shared with the server (protocol 1 only)")
 		stateFile  = flag.String("state", "", "protocol state file (default tcvs-user<ID>.state)")
 		author     = flag.String("author", "", "author name for commits (default user<ID>)")
@@ -88,7 +89,7 @@ func run() error {
 	var save func() error
 	switch *proto {
 	case "2":
-		u, err := loadUser2(*stateFile, sig.UserID(*user), *k)
+		u, err := loadUser2(*stateFile, sig.UserID(*user), *k, *shards)
 		if err != nil {
 			return err
 		}
@@ -463,11 +464,20 @@ func wsCommand(repo *cvs.Client, client *driver.Client, cmd string, rest []strin
 	return client.WaitIdle(time.Minute)
 }
 
-func loadUser2(path string, id sig.UserID, k uint64) (*proto2.User, error) {
+func loadUser2(path string, id sig.UserID, k uint64, shards int) (*proto2.User, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		// Fresh user on a fresh repository: genesis state.
+		// Fresh user on a fresh repository: genesis state. A forest
+		// server starts every shard at the empty tree, so the user's
+		// per-shard genesis roots are N copies of the empty root.
 		fmt.Fprintf(os.Stderr, "tcvs: no state file %s; starting from the empty repository state\n", path)
+		if shards > 1 {
+			roots := make([]digest.Digest, shards)
+			for i := range roots {
+				roots[i] = digest.Empty()
+			}
+			return proto2.NewForestUser(id, roots, k), nil
+		}
 		return proto2.NewUser(id, digest.Empty(), k), nil
 	}
 	if err != nil {

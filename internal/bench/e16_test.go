@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestRunE16Small drives the forest scaling sweep end to end at a
+// size a CI box can afford: every scheme/population point must
+// deliver its full op count through verified clients, and the
+// occupancy accounting must stay within [0,1]. The headline rise and
+// speedup figures are machine-dependent and recorded by tcvs-bench,
+// not asserted here.
+func TestRunE16Small(t *testing.T) {
+	cfg := DefaultE16Config()
+	cfg.DBSize = 100
+	cfg.PerClientRate = 50
+	cfg.OpsPerClient = 6
+	cfg.Shards = 4
+	cfg.ClientCounts = []int{2, 4}
+	d, err := RunE16(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(cfg.ClientCounts); len(d.Points) != want {
+		t.Fatalf("got %d points, want %d", len(d.Points), want)
+	}
+	for _, pt := range d.Points {
+		wantOps := pt.Clients * cfg.OpsPerClient
+		if pt.Ops != wantOps {
+			t.Errorf("%s/%d: delivered %d ops, want %d", pt.Scheme, pt.Clients, pt.Ops, wantOps)
+		}
+		if pt.OpsPerSec <= 0 {
+			t.Errorf("%s/%d: non-positive throughput %v", pt.Scheme, pt.Clients, pt.OpsPerSec)
+		}
+		if pt.BusiestShardOcc < 0 || pt.BusiestShardOcc > 1 {
+			t.Errorf("%s/%d: occupancy %v outside [0,1]", pt.Scheme, pt.Clients, pt.BusiestShardOcc)
+		}
+		if pt.Scheme != "trusted" && len(pt.ShardStats) == 0 {
+			t.Errorf("%s/%d: no per-shard stats", pt.Scheme, pt.Clients)
+		}
+	}
+}

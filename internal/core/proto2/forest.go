@@ -1,0 +1,459 @@
+// Forest mode: Protocol II over a sharded Merkle forest (vdb N > 1).
+//
+// Every shard is its own verification domain — its own register chain
+// (σ_s, last_s) rooted at ShardGenesisState(s, root₀_s), its own
+// last-user tag on the server, and its own ordered section — so
+// operations on different shards never serialize against each other.
+// Lemma 4.1 applies per shard: each shard's tagged states must form a
+// single directed path, and the sync barrier checks closure of every
+// shard's chain (core.CheckSyncForest).
+//
+// Cross-shard transactions are the new failure surface. The server
+// commits all legs inside one gctr window (vdb.BeginCross); both sides
+// derive the transaction digest txd = CrossTxDigest(user, preGctr,
+// legs) from response fields alone, and every leg's new tagged state
+// absorbs txd (core.ShardStateHash). The committing client additionally
+// records a pending (ctr, root) expectation per leg shard; any later
+// response whose published head vector excludes or contradicts a
+// pending leg is a typed TornTransaction detection — distinct from
+// single-shard tamper, raised before the next sync barrier.
+package proto2
+
+import (
+	"errors"
+	"fmt"
+
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/digest"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/vdb"
+)
+
+// shardMeta is one shard's slice of the server's Protocol II
+// bookkeeping: the last user to operate on the shard and the
+// transaction digest of that operation (Zero for single-shard ops).
+// It has no mutex of its own: a shard's meta is read and swapped
+// inside that shard's vdb ordered section (BeginShardIn/BeginCrossIn
+// hooks), so the shard lock IS the meta lock. That keeps the forest
+// hot path at one lock hand-off per shard and keeps the shard's
+// contention counters honest — a second mutex in front would absorb
+// all the queueing the counters exist to measure.
+type shardMeta struct {
+	lastUser sig.UserID
+	lastTx   digest.Digest
+}
+
+// MetaState is the persistent image of one shard's bookkeeping,
+// captured by CheckpointForest and restored by NewForestServerAt.
+type MetaState struct {
+	LastUser sig.UserID
+	LastTx   digest.Digest
+}
+
+func newMetas(n int) []shardMeta {
+	metas := make([]shardMeta, n)
+	for i := range metas {
+		metas[i].lastUser = sig.GenesisID
+	}
+	return metas
+}
+
+// Forest reports whether this server runs in forest mode.
+func (s *Server) Forest() bool { return s.metas != nil }
+
+// handleShardOp is HandleOp's forest path: the ordered section narrows
+// to the one shard the operation routes to, and the shard's last tag
+// swaps inside that same section.
+func (s *Server) handleShardOp(req *core.OpRequest) (*core.OpResponseII, error) {
+	sid, err := s.db.ShardFor(req.Op)
+	if err != nil {
+		return nil, fmt.Errorf("proto2: route: %w", err)
+	}
+	var last sig.UserID
+	var lastTx digest.Digest
+	st, err := s.db.BeginShardIn(sid, req.Op, func(*vdb.Staged) {
+		m := &s.metas[sid]
+		last, lastTx = m.lastUser, m.lastTx
+		m.lastUser, m.lastTx = req.User, digest.Zero
+	})
+	if err != nil {
+		return nil, fmt.Errorf("proto2: apply: %w", err)
+	}
+
+	ans, vo, err := st.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("proto2: encode: %w", err)
+	}
+	return &core.OpResponseII{
+		Answer: ans,
+		VO:     vo,
+		Ctr:    st.PreCtr(),
+		Last:   last,
+		Shard:  uint32(sid),
+		LastTx: lastTx,
+		GCtr:   st.PostGctr(),
+		Heads:  st.Heads(),
+	}, nil
+}
+
+// HandleCross serves a cross-shard transaction: all legs prepared and
+// committed inside one gctr window, every touched shard's last tag
+// swapped to (user, txd) at the same linearization point.
+func (s *Server) HandleCross(req *core.OpRequest) (*core.OpResponseForest, error) {
+	if s.metas == nil {
+		return nil, errors.New("proto2: cross-shard transaction on a single-tree server")
+	}
+	cross, ok := req.Op.(*vdb.CrossOp)
+	if !ok {
+		return nil, fmt.Errorf("proto2: HandleCross wants a *vdb.CrossOp, got %T", req.Op)
+	}
+	// BeginCrossIn routes the legs, rejects shard collisions, locks the
+	// leg shards in ascending order, and runs the hook at the commit's
+	// linearization point — where every touched shard's last tag swaps
+	// to (user, txd) atomically with the counter bumps. The transaction
+	// digest folds only counters already in hand, so the work added to
+	// the held sections is a single short hash.
+	legRefs := make([]core.OpLegII, 0, len(cross.Legs))
+	var txd digest.Digest
+	cst, err := s.db.BeginCrossIn(cross, func(cst *vdb.CrossStaged) {
+		legs := cst.Legs()
+		ref := make([]core.CrossLeg, len(legs))
+		for i, leg := range legs {
+			ref[i] = core.CrossLeg{Shard: uint32(leg.Shard()), Ctr: leg.PreCtr()}
+		}
+		txd = core.CrossTxDigest(req.User, cst.PreGctr(), ref)
+		for _, leg := range legs {
+			m := &s.metas[leg.Shard()]
+			legRefs = append(legRefs, core.OpLegII{
+				Shard:  uint32(leg.Shard()),
+				Ctr:    leg.PreCtr(),
+				Last:   m.lastUser,
+				LastTx: m.lastTx,
+			})
+			m.lastUser, m.lastTx = req.User, txd
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("proto2: apply: %w", err)
+	}
+	resp := &core.OpResponseForest{
+		Legs:  legRefs,
+		GCtr:  cst.PostGctr(),
+		Heads: cst.Heads(),
+	}
+
+	// VO pruning and answer encoding per leg, outside every lock.
+	for i, leg := range cst.Legs() {
+		ans, vo, err := leg.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("proto2: encode leg %d: %w", i, err)
+		}
+		resp.Legs[i].Answer, resp.Legs[i].VO = ans, vo
+	}
+	return resp, nil
+}
+
+// forkForest is Fork for forest servers: a consistent (db, metas) cut
+// taken with every shard's ordered section held.
+func (s *Server) forkForest() *Server {
+	var f *Server
+	s.db.LockAll(func() {
+		f = &Server{db: s.db.Fork(), lastUser: s.lastUser, metas: newMetas(len(s.metas))}
+		copy(f.metas, s.metas)
+	})
+	return f
+}
+
+// CheckpointForest atomically captures a forest server's persistent
+// state: an O(1) fork of the database plus every shard's meta, taken
+// with all ordered sections held so the pair is one cut of the
+// operation order. Errors on a single-tree server (use Checkpoint).
+func (s *Server) CheckpointForest() (*vdb.DB, []MetaState, error) {
+	if s.metas == nil {
+		return nil, nil, errors.New("proto2: CheckpointForest on a single-tree server")
+	}
+	var db *vdb.DB
+	metas := make([]MetaState, len(s.metas))
+	s.db.LockAll(func() {
+		db = s.db.Fork()
+		for i := range s.metas {
+			metas[i] = MetaState{LastUser: s.metas[i].lastUser, LastTx: s.metas[i].lastTx}
+		}
+	})
+	return db, metas, nil
+}
+
+// NewForestServerAt wraps a restored forest database, resuming from
+// the given per-shard metas.
+func NewForestServerAt(db *vdb.DB, metas []MetaState) (*Server, error) {
+	if db.Shards() != len(metas) {
+		return nil, fmt.Errorf("proto2: restored db has %d shards but %d metas", db.Shards(), len(metas))
+	}
+	s := &Server{db: db, lastUser: sig.GenesisID, metas: newMetas(len(metas))}
+	for i, m := range metas {
+		s.metas[i].lastUser = m.LastUser
+		s.metas[i].lastTx = m.LastTx
+	}
+	return s, nil
+}
+
+// forestShard is one shard's slice of a forest user's state: the
+// register chain plus at most one pending cross-transaction leg — the
+// (ctr, root) this user verified as committed on the shard, awaiting
+// confirmation by a later published head vector.
+type forestShard struct {
+	regs    core.Registers
+	pending *pendingLeg
+}
+
+// pendingLeg is the post-state of a committed cross-transaction leg:
+// the shard counter after the leg and the shard root it produced.
+type pendingLeg struct {
+	ctr  uint64
+	root digest.Digest
+}
+
+// NewForestUser creates a user state machine tracking an N-shard
+// forest: one register chain per shard, each rooted at that shard's
+// genesis state. shardRoots are the initial per-shard roots M(D₀_s)
+// (common knowledge, like initialRoot in NewUser); k is the sync
+// period.
+func NewForestUser(id sig.UserID, shardRoots []digest.Digest, k uint64) *User {
+	if k == 0 {
+		panic("proto2: sync period k must be positive")
+	}
+	if len(shardRoots) < 2 {
+		panic("proto2: forest user wants at least 2 shards (use NewUser)")
+	}
+	u := &User{id: id, k: k}
+	u.geneses = make([]digest.Digest, len(shardRoots))
+	u.fshards = make([]forestShard, len(shardRoots))
+	u.headCtrs = make([]uint64, len(shardRoots))
+	for s, root := range shardRoots {
+		g := core.ShardGenesisState(uint32(s), root)
+		u.geneses[s] = g
+		u.fshards[s].regs.Last = g
+	}
+	return u
+}
+
+// checkHeads vets a published head vector against this user's pending
+// cross-transaction legs and monotone per-shard counter floors. It
+// runs BEFORE the global counter checks on every forest response: a
+// torn commit typically also moves gctr, and the typed class must name
+// the actual crime.
+func (u *User) checkHeads(heads []vdb.ShardHead) error {
+	for s := range heads {
+		h := heads[s]
+		fs := &u.fshards[s]
+		if p := fs.pending; p != nil {
+			switch {
+			case h.Ctr < p.ctr:
+				return core.Detect(core.TornTransaction, u.id, u.regs.Ops,
+					fmt.Errorf("shard %d head counter %d excludes this user's committed cross-transaction leg at counter %d", s, h.Ctr, p.ctr))
+			case h.Ctr == p.ctr && h.Root != p.root:
+				return core.Detect(core.TornTransaction, u.id, u.regs.Ops,
+					fmt.Errorf("shard %d head at counter %d contradicts this user's committed cross-transaction leg", s, h.Ctr))
+			default:
+				// The head is at or past the leg with a matching root at
+				// the leg's counter: the leg is in the published history.
+				// (A head past the leg whose history nevertheless dropped
+				// it cannot close any shard chain at the sync barrier.)
+				fs.pending = nil
+			}
+		}
+		if h.Ctr < u.headCtrs[s] {
+			return core.Detect(core.CounterReplay, u.id, u.regs.Ops,
+				fmt.Errorf("shard %d head counter regressed from %d to %d", s, u.headCtrs[s], h.Ctr))
+		}
+		u.headCtrs[s] = h.Ctr
+	}
+	return nil
+}
+
+// handleForestResponse is HandleResponse's forest path: the VO replay
+// and register fold of Protocol II, scoped to the shard the client
+// itself routes the operation to, plus head-vector consistency checks
+// that bind the response into the global order.
+func (u *User) handleForestResponse(op vdb.Op, resp *core.OpResponseII) (any, error) {
+	if resp == nil || resp.VO == nil {
+		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, errors.New("missing response or VO"))
+	}
+	n := len(u.fshards)
+	if len(resp.Heads) != n {
+		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+			fmt.Errorf("head vector has %d shards, want %d", len(resp.Heads), n))
+	}
+	// The client routes the op itself — the server has no say in which
+	// verification domain an operation belongs to.
+	sid, err := vdb.RouteOp(op, n)
+	if err != nil || sid != int(resp.Shard) {
+		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+			fmt.Errorf("server ran op on shard %d, client routes it to shard %d (%v)", resp.Shard, sid, err))
+	}
+	// Pending-leg and head-floor checks first (see checkHeads).
+	if err := u.checkHeads(resp.Heads); err != nil {
+		return nil, err
+	}
+	var sum uint64
+	for _, h := range resp.Heads {
+		sum += h.Ctr
+	}
+	if sum != resp.GCtr {
+		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+			fmt.Errorf("global counter %d is not the sum %d of the head counters", resp.GCtr, sum))
+	}
+	if resp.GCtr <= u.regs.GCtr {
+		return nil, core.Detect(core.CounterReplay, u.id, u.regs.Ops,
+			fmt.Errorf("server presented gctr %d after gctr %d", resp.GCtr, u.regs.GCtr))
+	}
+	fs := &u.fshards[sid]
+	if resp.Ctr < fs.regs.LastCtr {
+		return nil, core.Detect(core.CounterReplay, u.id, u.regs.Ops,
+			fmt.Errorf("server presented shard %d ctr %d after ctr %d", sid, resp.Ctr, fs.regs.LastCtr))
+	}
+	oldRoot, newRoot, err := vdb.VerifyDerive(op, resp.Answer, resp.VO)
+	if err != nil {
+		return nil, core.Detect(classify(err), u.id, u.regs.Ops, err)
+	}
+	// The response's own operation must be the shard's published head.
+	if h := resp.Heads[sid]; h.Ctr != resp.Ctr+1 || h.Root != newRoot {
+		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+			fmt.Errorf("shard %d head (ctr %d) contradicts the operation it ships with (ctr %d)", sid, h.Ctr, resp.Ctr+1))
+	}
+	oldState := core.ShardStateHash(resp.Shard, oldRoot, resp.Ctr, resp.Last, resp.LastTx)
+	newState := core.ShardStateHash(resp.Shard, newRoot, resp.Ctr+1, u.id, digest.Zero)
+	fs.regs.Absorb(oldState, newState, resp.Ctr+1)
+	u.regs.GCtr = resp.GCtr
+	u.regs.Ops++
+	u.lastCtr, u.lastRoot = resp.GCtr, vdb.FoldHeads(resp.Heads)
+	u.sinceSync++
+	ans, err := vdb.DecodeAnswer(resp.Answer)
+	if err != nil {
+		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, err)
+	}
+	return ans, nil
+}
+
+// HandleResponseForest verifies the server's reply to a cross-shard
+// transaction: every leg's VO replays against its own shard, all legs
+// are welded together by the transaction digest absorbed into each
+// leg's new tagged state, and each leg is recorded as pending until a
+// later head vector confirms it. Returns the decoded vdb.CrossAnswer.
+func (u *User) HandleResponseForest(op *vdb.CrossOp, resp *core.OpResponseForest) (any, error) {
+	if u.fshards == nil {
+		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+			errors.New("cross-shard response in single-tree mode"))
+	}
+	if resp == nil || len(resp.Legs) == 0 {
+		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, errors.New("missing response or legs"))
+	}
+	n := len(u.fshards)
+	if len(resp.Heads) != n {
+		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+			fmt.Errorf("head vector has %d shards, want %d", len(resp.Heads), n))
+	}
+	if len(resp.Legs) != len(op.Legs) {
+		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+			fmt.Errorf("response has %d legs, transaction has %d", len(resp.Legs), len(op.Legs)))
+	}
+	// The client routes every leg itself; the server's claimed shards
+	// must match, with no duplicates.
+	seen := make(map[int]bool, len(op.Legs))
+	for i, legOp := range op.Legs {
+		sid, err := vdb.RouteOp(legOp, n)
+		if err != nil || sid != int(resp.Legs[i].Shard) {
+			return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+				fmt.Errorf("server ran leg %d on shard %d, client routes it to shard %d (%v)", i, resp.Legs[i].Shard, sid, err))
+		}
+		if seen[sid] {
+			return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+				fmt.Errorf("cross legs share shard %d", sid))
+		}
+		seen[sid] = true
+		if resp.Legs[i].VO == nil {
+			return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+				fmt.Errorf("leg %d has no VO", i))
+		}
+	}
+	// Pending-leg and head-floor checks against prior transactions
+	// first, then the global counter checks.
+	if err := u.checkHeads(resp.Heads); err != nil {
+		return nil, err
+	}
+	var sum uint64
+	for _, h := range resp.Heads {
+		sum += h.Ctr
+	}
+	if sum != resp.GCtr {
+		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+			fmt.Errorf("global counter %d is not the sum %d of the head counters", resp.GCtr, sum))
+	}
+	if resp.GCtr < uint64(len(resp.Legs)) || resp.GCtr-uint64(len(resp.Legs)) < u.regs.GCtr {
+		return nil, core.Detect(core.CounterReplay, u.id, u.regs.Ops,
+			fmt.Errorf("server presented gctr %d (%d legs) after gctr %d", resp.GCtr, len(resp.Legs), u.regs.GCtr))
+	}
+	// Both sides derive the transaction digest from the response alone.
+	ref := make([]core.CrossLeg, len(resp.Legs))
+	for i, leg := range resp.Legs {
+		ref[i] = core.CrossLeg{Shard: leg.Shard, Ctr: leg.Ctr}
+	}
+	txd := core.CrossTxDigest(u.id, resp.GCtr-uint64(len(resp.Legs)), ref)
+
+	answers := make([]any, len(resp.Legs))
+	for i, leg := range resp.Legs {
+		fs := &u.fshards[leg.Shard]
+		if leg.Ctr < fs.regs.LastCtr {
+			return nil, core.Detect(core.CounterReplay, u.id, u.regs.Ops,
+				fmt.Errorf("server presented shard %d ctr %d after ctr %d", leg.Shard, leg.Ctr, fs.regs.LastCtr))
+		}
+		oldRoot, newRoot, err := vdb.VerifyDerive(op.Legs[i], leg.Answer, leg.VO)
+		if err != nil {
+			return nil, core.Detect(classify(err), u.id, u.regs.Ops, fmt.Errorf("leg %d: %w", i, err))
+		}
+		// The transaction's own head vector must include this leg — a
+		// head that omits a leg of the very transaction it ships with is
+		// the tear, caught immediately.
+		if h := resp.Heads[leg.Shard]; h.Ctr != leg.Ctr+1 || h.Root != newRoot {
+			return nil, core.Detect(core.TornTransaction, u.id, u.regs.Ops,
+				fmt.Errorf("shard %d head excludes leg %d of the transaction it ships with", leg.Shard, i))
+		}
+		oldState := core.ShardStateHash(leg.Shard, oldRoot, leg.Ctr, leg.Last, leg.LastTx)
+		newState := core.ShardStateHash(leg.Shard, newRoot, leg.Ctr+1, u.id, txd)
+		fs.regs.Absorb(oldState, newState, leg.Ctr+1)
+		fs.pending = &pendingLeg{ctr: leg.Ctr + 1, root: newRoot}
+		ans, err := vdb.DecodeAnswer(leg.Answer)
+		if err != nil {
+			return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, err)
+		}
+		answers[i] = ans
+	}
+	u.regs.GCtr = resp.GCtr
+	u.regs.Ops++
+	u.lastCtr, u.lastRoot = resp.GCtr, vdb.FoldHeads(resp.Heads)
+	u.sinceSync++
+	return vdb.CrossAnswer{Answers: answers}, nil
+}
+
+// completeForestSync is CompleteSync's forest path: every shard's
+// register chain must close (core.CheckSyncForest). A torn cross
+// transaction that escaped the typed pending check — because the
+// victim saw no later response — still surfaces here: the dropped
+// leg's absorbed transition gives its old state in-degree 2 in that
+// shard's graph, so the chain cannot close.
+func (u *User) completeForestSync(reports []core.SyncReportII) error {
+	s, err := core.CheckSyncForest(u.geneses, reports)
+	if err != nil {
+		return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, err)
+	}
+	if s >= 0 {
+		return core.Detect(core.SyncMismatch, u.id, u.regs.Ops,
+			fmt.Errorf("no last register closes the state chain of shard %d", s))
+	}
+	// Closure authenticates the whole history, pending legs included.
+	for i := range u.fshards {
+		u.fshards[i].pending = nil
+	}
+	u.sinceSync = 0
+	return nil
+}

@@ -1,0 +1,337 @@
+package proto2
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/vdb"
+)
+
+type forestHarness struct {
+	t      *testing.T
+	db     *vdb.DB
+	server *Server
+	users  []*User
+}
+
+func newForestHarness(t *testing.T, users, shards int, k uint64) *forestHarness {
+	t.Helper()
+	db := vdb.NewSharded(0, shards)
+	srv := NewServer(db)
+	if !srv.Forest() {
+		t.Fatalf("server over %d shards is not in forest mode", shards)
+	}
+	us := make([]*User, users)
+	for i := range us {
+		us[i] = NewForestUser(sig.UserID(i), db.ShardRoots(), k)
+	}
+	return &forestHarness{t: t, db: db, server: srv, users: us}
+}
+
+func (h *forestHarness) do(u int, op vdb.Op) any {
+	h.t.Helper()
+	ans, err := h.doOn(h.server, u, op)
+	if err != nil {
+		h.t.Fatalf("user %d: %v", u, err)
+	}
+	return ans
+}
+
+func (h *forestHarness) doOn(srv *Server, u int, op vdb.Op) (any, error) {
+	if cross, ok := op.(*vdb.CrossOp); ok {
+		resp, err := srv.HandleCross(h.users[u].Request(op))
+		if err != nil {
+			return nil, err
+		}
+		return h.users[u].HandleResponseForest(cross, resp)
+	}
+	resp, err := srv.HandleOp(h.users[u].Request(op))
+	if err != nil {
+		return nil, err
+	}
+	return h.users[u].HandleResponse(op, resp)
+}
+
+func (h *forestHarness) sync() error {
+	reports := make([]core.SyncReportII, len(h.users))
+	for i, u := range h.users {
+		reports[i] = u.SyncReport()
+	}
+	for _, u := range h.users {
+		if err := u.CompleteSync(reports); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crossKeys returns two keys routing to different shards of an n-shard
+// forest.
+func crossKeys(t *testing.T, n int) (string, string) {
+	t.Helper()
+	keys := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}
+	for _, a := range keys {
+		for _, b := range keys {
+			if vdb.RouteKey(a, n) != vdb.RouteKey(b, n) {
+				return a, b
+			}
+		}
+	}
+	t.Fatalf("no key pair splits across %d shards", n)
+	return "", ""
+}
+
+func TestForestHonestRun(t *testing.T) {
+	h := newForestHarness(t, 3, 4, 64)
+	h.do(0, put("a", "1"))
+	h.do(1, put("b", "2"))
+	h.do(2, put("c", "3"))
+	ans := h.do(1, get("a"))
+	if ra := ans.(vdb.ReadAnswer); !ra.Results[0].Found || string(ra.Results[0].Val) != "1" {
+		t.Fatalf("read: %+v", ra)
+	}
+	if err := h.sync(); err != nil {
+		t.Fatalf("sync on honest forest run: %v", err)
+	}
+	// The last-operating user's verified root is the fold of the head
+	// vector the server currently publishes — the single root-of-roots
+	// the witness machinery consumes.
+	gctr, root := h.db.Head()
+	if c, r := h.users[1].VerifiedRoot(); c != gctr || r != root {
+		t.Fatalf("user 1 verified (%d, %s), server head (%d, %s)", c, r.Short(), gctr, root.Short())
+	}
+}
+
+func TestForestCrossShardCommit(t *testing.T) {
+	h := newForestHarness(t, 2, 4, 64)
+	ka, kb := crossKeys(t, 4)
+	h.do(0, put(ka, "left"))
+	ans := h.do(0, &vdb.CrossOp{Legs: []vdb.Op{put(ka, "l2"), put(kb, "r2")}})
+	ca, ok := ans.(vdb.CrossAnswer)
+	if !ok || len(ca.Answers) != 2 {
+		t.Fatalf("cross answer: %#v", ans)
+	}
+	// Both legs landed, and later single-shard reads (from another
+	// user) see them.
+	for _, kv := range [][2]string{{ka, "l2"}, {kb, "r2"}} {
+		ra := h.do(1, get(kv[0])).(vdb.ReadAnswer)
+		if !ra.Results[0].Found || string(ra.Results[0].Val) != kv[1] {
+			t.Fatalf("read %s: %+v", kv[0], ra)
+		}
+	}
+	if err := h.sync(); err != nil {
+		t.Fatalf("sync after cross-shard commit: %v", err)
+	}
+}
+
+// TestForestTornCommitTyped is the atomicity attack: the server proves
+// a two-leg cross-shard transaction in full on a throwaway fork but
+// commits only one leg for real. The committing user must raise the
+// typed TornTransaction detection — not a generic replay or VO failure
+// — on its next response, before any sync barrier.
+func TestForestTornCommitTyped(t *testing.T) {
+	h := newForestHarness(t, 2, 4, 64)
+	ka, kb := crossKeys(t, 4)
+	h.do(0, put(ka, "seed-a"))
+	h.do(1, put(kb, "seed-b"))
+
+	cross := &vdb.CrossOp{Legs: []vdb.Op{put(ka, "tx-a"), put(kb, "tx-b")}}
+	req := h.users[0].Request(cross)
+	fork := h.server.Fork()
+	resp, err := fork.HandleCross(req)
+	if err != nil {
+		t.Fatalf("fork cross: %v", err)
+	}
+	// The real history gets only the first leg.
+	if _, err := h.server.HandleOp(h.users[0].Request(cross.Legs[0])); err != nil {
+		t.Fatalf("torn main leg: %v", err)
+	}
+	// The forged proof itself verifies — the tear is not yet visible.
+	if _, err := h.users[0].HandleResponseForest(cross, resp); err != nil {
+		t.Fatalf("victim rejected a fully valid (forked) cross proof: %v", err)
+	}
+	// The victim's very next operation is served from the real history,
+	// whose head vector excludes the second leg.
+	_, err = h.doOn(h.server, 0, get(ka))
+	de, ok := core.AsDetection(err)
+	if !ok {
+		t.Fatalf("torn commit went undetected: %v", err)
+	}
+	if de.Class != core.TornTransaction {
+		t.Fatalf("detected class %v, want %v", de.Class, core.TornTransaction)
+	}
+}
+
+// TestForestTornCommitAtSyncBarrier: if the victim issues no further
+// operation, the tear still cannot survive a sync barrier once any
+// user has observed the real history of the dropped leg's shard.
+func TestForestTornCommitAtSyncBarrier(t *testing.T) {
+	h := newForestHarness(t, 2, 4, 64)
+	ka, kb := crossKeys(t, 4)
+	h.do(0, put(ka, "seed-a"))
+	h.do(1, put(kb, "seed-b"))
+
+	cross := &vdb.CrossOp{Legs: []vdb.Op{put(ka, "tx-a"), put(kb, "tx-b")}}
+	fork := h.server.Fork()
+	resp, err := fork.HandleCross(h.users[0].Request(cross))
+	if err != nil {
+		t.Fatalf("fork cross: %v", err)
+	}
+	if _, err := h.server.HandleOp(h.users[0].Request(cross.Legs[0])); err != nil {
+		t.Fatalf("torn main leg: %v", err)
+	}
+	if _, err := h.users[0].HandleResponseForest(cross, resp); err != nil {
+		t.Fatalf("victim rejected a fully valid (forked) cross proof: %v", err)
+	}
+	// Another user touches the dropped leg's shard on the real history,
+	// consuming the same pre-state the victim's leg consumed.
+	h.do(1, put(kb, "post"))
+
+	err = h.sync()
+	de, ok := core.AsDetection(err)
+	if !ok {
+		t.Fatalf("torn commit survived the sync barrier: %v", err)
+	}
+	if de.Class != core.SyncMismatch {
+		t.Fatalf("barrier detected class %v, want %v", de.Class, core.SyncMismatch)
+	}
+}
+
+// TestForestStressRace is the -race stress test: 64 concurrent clients
+// hammering an 8-shard forest with single- and cross-shard writes.
+// Afterwards the observed counters must form gap-free permutations —
+// per shard and globally — and fold to exactly the root-of-roots the
+// server publishes.
+func TestForestStressRace(t *testing.T) {
+	const (
+		nUsers    = 64
+		nShards   = 8
+		opsPerUsr = 25
+	)
+	h := newForestHarness(t, nUsers, nShards, 1<<20)
+	ka, kb := crossKeys(t, nShards)
+
+	type obs struct {
+		shard uint32
+		ctr   uint64
+	}
+	perUser := make([][]obs, nUsers)
+	var wg sync.WaitGroup
+	for u := 0; u < nUsers; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			user := h.users[u]
+			key := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}[u%8]
+			for i := 0; i < opsPerUsr; i++ {
+				if i%5 == 4 {
+					// Every fifth op is a cross-shard transaction.
+					cross := &vdb.CrossOp{Legs: []vdb.Op{put(ka, "x"), put(kb, "y")}}
+					resp, err := h.server.HandleCross(user.Request(cross))
+					if err != nil {
+						t.Errorf("user %d cross: %v", u, err)
+						return
+					}
+					if _, err := user.HandleResponseForest(cross, resp); err != nil {
+						t.Errorf("user %d cross verify: %v", u, err)
+						return
+					}
+					for _, leg := range resp.Legs {
+						perUser[u] = append(perUser[u], obs{leg.Shard, leg.Ctr})
+					}
+					continue
+				}
+				op := put(key, "v")
+				resp, err := h.server.HandleOp(user.Request(op))
+				if err != nil {
+					t.Errorf("user %d op: %v", u, err)
+					return
+				}
+				if _, err := user.HandleResponse(op, resp); err != nil {
+					t.Errorf("user %d verify: %v", u, err)
+					return
+				}
+				perUser[u] = append(perUser[u], obs{resp.Shard, resp.Ctr})
+			}
+		}(u)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Gap-free per-shard permutations: the multiset of observed
+	// pre-counters of every shard must be exactly {0, ..., ctr_s-1}.
+	byShard := make([][]uint64, nShards)
+	for _, obss := range perUser {
+		for _, o := range obss {
+			byShard[o.shard] = append(byShard[o.shard], o.ctr)
+		}
+	}
+	var total uint64
+	heads := h.db.Heads()
+	for s, ctrs := range byShard {
+		sort.Slice(ctrs, func(i, j int) bool { return ctrs[i] < ctrs[j] })
+		for i, c := range ctrs {
+			if c != uint64(i) {
+				t.Fatalf("shard %d counter sequence has a gap at %d (got %d)", s, i, c)
+			}
+		}
+		if heads[s].Ctr != uint64(len(ctrs)) {
+			t.Fatalf("shard %d head ctr %d, observed %d ops", s, heads[s].Ctr, len(ctrs))
+		}
+		total += uint64(len(ctrs))
+	}
+
+	// The per-shard counters fold through the root-of-roots: the global
+	// counter is their sum and the published head is their fold.
+	gctr, root := h.db.Head()
+	if gctr != total {
+		t.Fatalf("global counter %d != sum of shard counters %d", gctr, total)
+	}
+	if f := vdb.FoldHeads(heads); f != root {
+		t.Fatalf("fold of shard heads %s != published root %s", f.Short(), root.Short())
+	}
+
+	// Narrow serial sections really were exercised per shard.
+	var statOps uint64
+	for _, st := range h.db.Stats() {
+		statOps += st.Ops
+	}
+	if statOps != total {
+		t.Fatalf("contention counters saw %d lock sections, want %d", statOps, total)
+	}
+
+	if err := h.sync(); err != nil {
+		t.Fatalf("sync after stress: %v", err)
+	}
+}
+
+// TestForestCheckpointRestore: a forest checkpoint restores to a
+// server whose published heads and metas continue the same history.
+func TestForestCheckpointRestore(t *testing.T) {
+	h := newForestHarness(t, 2, 4, 64)
+	ka, kb := crossKeys(t, 4)
+	h.do(0, put(ka, "1"))
+	h.do(1, put(kb, "2"))
+	h.do(0, &vdb.CrossOp{Legs: []vdb.Op{put(ka, "3"), put(kb, "4")}})
+
+	db, metas, err := h.server.CheckpointForest()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	restored, err := NewForestServerAt(db, metas)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	// The same clients keep operating against the restored server.
+	h.server = restored
+	h.do(1, put(ka, "5"))
+	h.do(0, &vdb.CrossOp{Legs: []vdb.Op{put(ka, "6"), put(kb, "7")}})
+	if err := h.sync(); err != nil {
+		t.Fatalf("sync across restore: %v", err)
+	}
+}

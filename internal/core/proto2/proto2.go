@@ -43,12 +43,24 @@ type Server struct {
 	mu       sync.Mutex
 	db       *vdb.DB
 	lastUser sig.UserID
+
+	// metas is the forest mode's per-shard bookkeeping (one entry per
+	// shard, nil on a single-tree database): each shard has its own
+	// last-user tag and its own ordered section, so operations on
+	// different shards never serialize against each other. See
+	// forest.go.
+	metas []shardMeta
 }
 
 // NewServer wraps db with Protocol II bookkeeping. The initial state
-// is tagged with the reserved genesis ID.
+// is tagged with the reserved genesis ID. A database with more than
+// one shard gets per-shard bookkeeping (forest mode).
 func NewServer(db *vdb.DB) *Server {
-	return &Server{db: db, lastUser: sig.GenesisID}
+	s := &Server{db: db, lastUser: sig.GenesisID}
+	if db.Shards() > 1 {
+		s.metas = newMetas(db.Shards())
+	}
+	return s
 }
 
 // DB exposes the underlying database.
@@ -58,6 +70,9 @@ func (s *Server) DB() *vdb.DB { return s.db }
 // now — the primitive behind the Figure 1 partition attack. Honest
 // servers never call this; internal/adversary does.
 func (s *Server) Fork() *Server {
+	if s.metas != nil {
+		return s.forkForest()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return &Server{db: s.db.Fork(), lastUser: s.lastUser}
@@ -89,8 +104,13 @@ func NewServerAt(db *vdb.DB, lastUser sig.UserID) *Server {
 }
 
 // HandleOp applies the operation and returns (answer, VO, ctr, j).
-// Unlike Protocol I there is nothing to wait for afterwards.
+// Unlike Protocol I there is nothing to wait for afterwards. In forest
+// mode the ordered section is per shard (see forest.go); cross-shard
+// transactions go through HandleCross.
 func (s *Server) HandleOp(req *core.OpRequest) (*core.OpResponseII, error) {
+	if s.metas != nil {
+		return s.handleShardOp(req)
+	}
 	// Ordered section: apply + ctr bump + last-user swap. The captured
 	// (staged, last) pair fully determines the response.
 	s.mu.Lock()
@@ -130,6 +150,13 @@ type User struct {
 	journal      *forensics.Journal
 	lastCtr      uint64
 	lastRoot     digest.Digest
+
+	// Forest mode (nil/empty when tracking a single tree): one
+	// register chain, genesis, and pending-leg slot per shard, plus a
+	// monotone floor of observed head counters. See forest.go.
+	geneses  []digest.Digest
+	fshards  []forestShard
+	headCtrs []uint64
 }
 
 // EnableJournal attaches a bounded transition journal of the given
@@ -182,6 +209,9 @@ func (u *User) Request(op vdb.Op) *core.OpRequest {
 // transition into the registers, and returns the decoded answer. On
 // deviation it returns a *core.DetectionError.
 func (u *User) HandleResponse(op vdb.Op, resp *core.OpResponseII) (any, error) {
+	if u.fshards != nil {
+		return u.handleForestResponse(op, resp)
+	}
 	if resp == nil || resp.VO == nil {
 		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, errors.New("missing response or VO"))
 	}
@@ -214,13 +244,25 @@ func (u *User) HandleResponse(op vdb.Op, resp *core.OpResponseII) (any, error) {
 // NeedsSync reports whether this user must announce a sync-up.
 func (u *User) NeedsSync() bool { return u.sinceSync >= u.k }
 
-// SyncReport is the user's broadcast contribution to a sync round.
+// SyncReport is the user's broadcast contribution to a sync round. A
+// forest user reports one register pair per shard.
 func (u *User) SyncReport() core.SyncReportII {
+	if u.fshards != nil {
+		r := core.SyncReportII{User: u.id, Shards: make([]core.ShardRegs, len(u.fshards))}
+		for s := range u.fshards {
+			r.Shards[s] = core.ShardRegs{Sigma: u.fshards[s].regs.Sigma, Last: u.fshards[s].regs.Last}
+		}
+		return r
+	}
 	return core.SyncReportII{User: u.id, Sigma: u.regs.Sigma, Last: u.regs.Last}
 }
 
-// CompleteSync evaluates a full set of sync reports.
+// CompleteSync evaluates a full set of sync reports. A forest user
+// runs the closure check once per shard (every shard must close).
 func (u *User) CompleteSync(reports []core.SyncReportII) error {
+	if u.fshards != nil {
+		return u.completeForestSync(reports)
+	}
 	if core.CheckSyncII(u.initialState, reports) < 0 {
 		return core.Detect(core.SyncMismatch, u.id, u.regs.Ops,
 			errors.New("no last register closes the state chain"))

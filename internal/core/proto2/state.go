@@ -18,6 +18,22 @@ type State struct {
 	SinceSync    uint64
 	Registers    core.Registers
 	InitialState digest.Digest
+	// Shards is the forest user's per-shard state (O(N), still
+	// workload-independent). Nil for a single-tree user, which keeps
+	// the gob encoding byte-identical to the pre-forest format.
+	Shards []ShardState
+}
+
+// ShardState is one shard's slice of a persisted forest user: the
+// shard's register chain, genesis state, monotone head-counter floor,
+// and the at-most-one cross-transaction leg awaiting confirmation.
+type ShardState struct {
+	Genesis     digest.Digest
+	Regs        core.Registers
+	HeadCtr     uint64
+	HasPending  bool
+	PendingCtr  uint64
+	PendingRoot digest.Digest
 }
 
 // MarshalState serializes the user's protocol state.
@@ -29,6 +45,14 @@ func (u *User) MarshalState() ([]byte, error) {
 		SinceSync:    u.sinceSync,
 		Registers:    u.regs,
 		InitialState: u.initialState,
+	}
+	for s := range u.fshards {
+		fs := &u.fshards[s]
+		ss := ShardState{Genesis: u.geneses[s], Regs: fs.regs, HeadCtr: u.headCtrs[s]}
+		if p := fs.pending; p != nil {
+			ss.HasPending, ss.PendingCtr, ss.PendingRoot = true, p.ctr, p.root
+		}
+		st.Shards = append(st.Shards, ss)
 	}
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
 		return nil, fmt.Errorf("proto2: marshal state: %w", err)
@@ -45,11 +69,28 @@ func RestoreUser(data []byte) (*User, error) {
 	if st.K == 0 {
 		return nil, fmt.Errorf("proto2: restore state: zero sync period")
 	}
-	return &User{
+	if len(st.Shards) == 1 {
+		return nil, fmt.Errorf("proto2: restore state: a 1-shard forest is not a valid state (single-tree users carry no shard list)")
+	}
+	u := &User{
 		id:           st.ID,
 		k:            st.K,
 		sinceSync:    st.SinceSync,
 		regs:         st.Registers,
 		initialState: st.InitialState,
-	}, nil
+	}
+	if len(st.Shards) > 1 {
+		u.geneses = make([]digest.Digest, len(st.Shards))
+		u.fshards = make([]forestShard, len(st.Shards))
+		u.headCtrs = make([]uint64, len(st.Shards))
+		for s, ss := range st.Shards {
+			u.geneses[s] = ss.Genesis
+			u.fshards[s].regs = ss.Regs
+			u.headCtrs[s] = ss.HeadCtr
+			if ss.HasPending {
+				u.fshards[s].pending = &pendingLeg{ctr: ss.PendingCtr, root: ss.PendingRoot}
+			}
+		}
+	}
+	return u, nil
 }

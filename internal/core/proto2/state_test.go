@@ -64,6 +64,36 @@ func TestStateRestoreDetectsReplayAfterRestore(t *testing.T) {
 	}
 }
 
+// TestForestStateRoundTrip is the CLI scenario over a forest: a user
+// runs single-shard and cross-shard verified operations, persists its
+// per-shard register chains, is reconstructed, keeps operating on both
+// paths, and still closes the sync barrier.
+func TestForestStateRoundTrip(t *testing.T) {
+	h := newForestHarness(t, 2, 4, 1000)
+	a, b := crossKeys(t, 4)
+	h.do(0, put(a, "1"))
+	h.do(1, put(b, "2"))
+	h.do(0, &vdb.CrossOp{Legs: []vdb.Op{put(a, "3"), put(b, "4")}})
+
+	data, err := h.users[0].MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreUser(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.ID() != h.users[0].ID() || restored.LCtr() != h.users[0].LCtr() {
+		t.Fatalf("restored identity/counters differ: %v %d", restored.ID(), restored.LCtr())
+	}
+	h.users[0] = restored
+	h.do(0, put(b, "5"))
+	h.do(0, &vdb.CrossOp{Legs: []vdb.Op{put(a, "6"), put(b, "7")}})
+	if err := h.sync(); err != nil {
+		t.Fatalf("sync after forest state restore: %v", err)
+	}
+}
+
 func TestStateRestoreRejectsGarbage(t *testing.T) {
 	if _, err := RestoreUser([]byte("junk")); err == nil {
 		t.Fatal("garbage state must be rejected")

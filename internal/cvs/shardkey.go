@@ -1,0 +1,31 @@
+package cvs
+
+// The CVS ops are multi-key transactions over one interleaved key
+// namespace (head/rev/tag records); hashing their individual keys
+// across shards would tear a commit's atomicity. They therefore route
+// by one constant shard key, colocating the whole CVS item space on a
+// single shard of a Merkle forest: multi-file commits stay one
+// single-shard operation (one ctr increment, one VO), exactly the
+// atomicity argument of the paper's model. Cross-shard traffic is
+// exercised by the key-value ops (vdb.CrossOp).
+
+// repoShardKey is the constant routing key for every CVS op.
+const repoShardKey = "cvs-store"
+
+// ShardKey implements vdb.ShardKeyer.
+func (o *CommitOp) ShardKey() string { return repoShardKey }
+
+// ShardKey implements vdb.ShardKeyer.
+func (o *CheckoutOp) ShardKey() string { return repoShardKey }
+
+// ShardKey implements vdb.ShardKeyer.
+func (o *LogOp) ShardKey() string { return repoShardKey }
+
+// ShardKey implements vdb.ShardKeyer.
+func (o *ListOp) ShardKey() string { return repoShardKey }
+
+// ShardKey implements vdb.ShardKeyer.
+func (o *TagOp) ShardKey() string { return repoShardKey }
+
+// ShardKey implements vdb.ShardKeyer.
+func (o *RemoveOp) ShardKey() string { return repoShardKey }

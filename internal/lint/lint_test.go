@@ -34,6 +34,8 @@ func TestFixtureCorpus(t *testing.T) {
 		{"lockscope", "internal/transport/faulty.go", 23},      // fault.Injector.Next under Lock
 		{"sleepretry", "internal/transport/retrysleep.go", 12}, // time.Sleep in retry loop
 		{"lockscope", "internal/vdb/lock.go", 22},              // gob Encode under defer-Unlock
+		{"lockscope", "internal/vdb/shard.go", 50},             // gob Encode under shard lock() wrapper
+		{"lockscope", "internal/vdb/shard.go", 66},             // gob Encode under forest lockAll() wrapper
 	}
 	got := Run(m, Passes())
 	for i := 0; i < len(got) || i < len(want); i++ {

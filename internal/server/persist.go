@@ -97,6 +97,10 @@ type P2Snapshot struct {
 	LastUser sig.UserID
 	Store    *cvs.StoreSnapshot
 	Sessions *transport.SessionsSnapshot
+	// Metas is the per-shard protocol bookkeeping of a forest server
+	// (one entry per shard). Nil on a single-tree server, keeping N=1
+	// snapshots gob-identical to pre-forest ones.
+	Metas []proto2.MetaState
 }
 
 // CheckpointP2 captures a Protocol II server's state. The capture
@@ -112,6 +116,17 @@ func CheckpointP2(srv Server, store *cvs.Store) (*P2Snapshot, error) {
 	storeSnap, err := store.Snapshot()
 	if err != nil {
 		return nil, err
+	}
+	if p2srv.inner.Forest() {
+		dbAt, metas, err := p2srv.inner.CheckpointForest()
+		if err != nil {
+			return nil, err
+		}
+		return &P2Snapshot{
+			DB:    dbAt.Snapshot(),
+			Store: storeSnap,
+			Metas: metas,
+		}, nil
 	}
 	dbAt, lastUser := p2srv.inner.Checkpoint()
 	return &P2Snapshot{
@@ -154,6 +169,16 @@ func RestoreP2(snap *P2Snapshot) (Server, *cvs.Store, error) {
 	store, err := cvs.RestoreStore(snap.Store)
 	if err != nil {
 		return nil, nil, err
+	}
+	if len(snap.Metas) > 0 {
+		inner, err := proto2.NewForestServerAt(db, snap.Metas)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &p2{inner: inner}, store, nil
+	}
+	if db.Shards() > 1 {
+		return nil, nil, fmt.Errorf("server: forest snapshot (%d shards) has no per-shard metas", db.Shards())
 	}
 	return &p2{inner: proto2.NewServerAt(db, snap.LastUser)}, store, nil
 }

@@ -149,6 +149,12 @@ type p2 struct{ inner *proto2.Server }
 
 func (s *p2) Protocol() Protocol { return P2 }
 func (s *p2) HandleOp(req *core.OpRequest) (any, error) {
+	// Cross-shard transactions take the two-phase forest path; on a
+	// single-tree database a CrossOp is just an ordinary (composite)
+	// operation and stays on the plain path.
+	if _, ok := req.Op.(*vdb.CrossOp); ok && s.inner.Forest() {
+		return s.inner.HandleCross(req)
+	}
 	return s.inner.HandleOp(req)
 }
 func (s *p2) HandleAck(*core.AckRequest) error { return ErrUnsupported }

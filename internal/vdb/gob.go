@@ -11,9 +11,11 @@ func init() {
 	gob.Register(&RangeOp{})
 	gob.Register(&NopOp{})
 	gob.Register(&CASOp{})
+	gob.Register(&CrossOp{})
 	gob.Register(ReadAnswer{})
 	gob.Register(WriteAnswer{})
 	gob.Register(RangeAnswer{})
 	gob.Register(NopAnswer{})
 	gob.Register(CASAnswer{})
+	gob.Register(CrossAnswer{})
 }

@@ -12,6 +12,13 @@
 // typed verification error. This generalizes the paper's v(Q, D) from
 // single-key updates to arbitrary deterministic transactions, which is
 // what lets the CVS layer make commits atomic.
+//
+// Since PR 6 the database is a Merkle *forest*: N shards, each with
+// its own tree, counter, and mutex, folded into a single root-of-roots
+// (see forest.go). A one-shard forest is bit-compatible with the
+// original single-tree database — same root, same counter, same wire
+// messages, same snapshots — so everything above vdb can stay
+// N-oblivious.
 package vdb
 
 import (
@@ -133,59 +140,81 @@ func canonicalAnswer(b []byte) ([]byte, error) {
 	return EncodeAnswer(v)
 }
 
-// DB is the server-side authenticated database: the Merkle tree plus
-// the operation counter ctr from Protocol I ("the count of the number
-// of operations performed on the database").
+// DB is the server-side authenticated database: a forest of Merkle
+// shards plus the global operation counter ctr from Protocol I ("the
+// count of the number of operations performed on the database").
 //
-// DB is safe for concurrent use. Mutations linearize on an internal
-// mutex whose critical section is deliberately tiny — apply the
-// operation to the persistent tree and bump ctr — so that the
-// cryptographic heavy lifting (VO pruning, answer encoding) can run
-// outside it via Begin/Finish. Readers (Ctr, Root, Fork, Snapshot) see
-// a consistent (tree, ctr) pair.
+// DB is safe for concurrent use. Mutations linearize per shard on that
+// shard's mutex, whose critical section is deliberately tiny — apply
+// the operation to the persistent tree and bump the counters — so the
+// cryptographic heavy lifting (VO pruning, answer encoding) runs
+// outside it via Begin/Finish, and operations on different shards
+// never contend at all. Readers (Ctr, Root, Head, Fork, Snapshot) see
+// a consistent published head vector under fmu and never block on an
+// in-flight apply.
+//
+// Lock order: a shard mutex is always acquired before fmu, never
+// after; multiple shard mutexes are acquired in ascending shard order.
 type DB struct {
-	mu   sync.Mutex
-	tree *merkle.Tree
-	ctr  uint64
+	shards []*shard
+
+	// fmu orders forest-level publication: gctr and the published head
+	// vector move together under it. gctr equals the sum of the shard
+	// counters at every published point (each shard-counter increment
+	// publishes exactly one gctr increment).
+	fmu   sync.Mutex
+	gctr  uint64
+	heads []headEntry
 }
 
-// New creates an empty database with the given Merkle branching factor
-// (0 = merkle.DefaultOrder).
+// New creates an empty single-shard database with the given Merkle
+// branching factor (0 = merkle.DefaultOrder). It is exactly the
+// pre-forest database: one tree, one counter, one ordered section.
 func New(order int) *DB {
-	return &DB{tree: merkle.New(order)}
+	return NewSharded(order, 1)
 }
 
-// Ctr returns the number of operations applied so far.
+// Ctr returns the number of operations applied so far (across all
+// shards).
 func (db *DB) Ctr() uint64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.ctr
+	db.fmu.Lock()
+	defer db.fmu.Unlock()
+	return db.gctr
 }
 
-// Root returns the current root digest M(D).
+// Root returns the current root-of-roots M(D): for a single shard the
+// plain tree root, otherwise the DomainForest fold of the per-shard
+// heads.
 func (db *DB) Root() digest.Digest {
-	db.mu.Lock()
-	t := db.tree
-	db.mu.Unlock()
-	return t.RootDigest()
+	_, root := db.Head()
+	return root
 }
 
-// Head returns the operation counter and root as one consistent pair.
-// Separate Ctr/Root calls can interleave with a concurrent Apply and
-// pair a counter with the wrong tree; a commitment built from such a
-// torn pair would read as a fork at every honest witness.
+// Head returns the operation counter and root-of-roots as one
+// consistent pair. Separate Ctr/Root calls can interleave with a
+// concurrent Apply and pair a counter with the wrong tree; a
+// commitment built from such a torn pair would read as a fork at every
+// honest witness.
 func (db *DB) Head() (uint64, digest.Digest) {
-	db.mu.Lock()
-	ctr, t := db.ctr, db.tree
-	db.mu.Unlock()
-	return ctr, t.RootDigest()
+	db.fmu.Lock()
+	gctr := db.gctr
+	heads := append([]headEntry(nil), db.heads...)
+	db.fmu.Unlock()
+	// Digest computation happens outside the lock: the captured trees
+	// are persistent and their root digests are memoized.
+	return gctr, FoldHeads(shardHeadsOf(heads))
 }
 
-// Len returns the number of records.
+// Len returns the number of records across all shards.
 func (db *DB) Len() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.tree.Len()
+	db.fmu.Lock()
+	heads := append([]headEntry(nil), db.heads...)
+	db.fmu.Unlock()
+	n := 0
+	for _, e := range heads {
+		n += e.tree.Len()
+	}
+	return n
 }
 
 // Apply executes op, increments ctr, and returns the canonical answer
@@ -198,9 +227,14 @@ func (db *DB) Len() int {
 // pipelined servers use Begin/Finish instead to keep the serialized
 // window minimal.
 func (db *DB) Apply(op Op) (ansBytes []byte, vo *merkle.VO, err error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	rec := db.tree.Record()
+	sid, err := db.ShardFor(op)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := db.shards[sid]
+	s.lock()
+	defer s.unlock()
+	rec := s.tree.Record()
 	ans, err := op.Apply(&Tx{rec: rec})
 	if err != nil {
 		return nil, nil, err
@@ -212,49 +246,119 @@ func (db *DB) Apply(op Op) (ansBytes []byte, vo *merkle.VO, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	db.tree = rec.Tree()
-	db.ctr++
+	s.tree = rec.Tree()
+	s.ctr++
+	db.publish(sid, s)
 	return ansBytes, rec.VO(), nil
 }
 
-// Staged is the committed-but-unencoded result of Begin: the ordered
-// section already applied the operation and advanced ctr; Finish does
-// the remaining work — canonical answer encoding and VO pruning — on
-// the captured immutable snapshot, outside any lock.
-type Staged struct {
-	preCtr uint64
-	rec    *merkle.Recording
-	ans    any
+// publish records a shard's new (tree, ctr) in the head vector and
+// bumps gctr, all under fmu. Must be called with the shard's mutex
+// held, so the publication order within one shard matches its apply
+// order.
+func (db *DB) publish(sid int, s *shard) {
+	db.fmu.Lock()
+	db.gctr++
+	db.heads[sid] = headEntry{tree: s.tree, ctr: s.ctr}
+	db.fmu.Unlock()
 }
 
-// Begin is the ordered section of the pipelined hot path: it applies op
-// to the persistent tree, bumps ctr, and captures the recording — and
-// nothing else. The returned Staged references only immutable nodes of
-// the persistent tree, so Finish (and any number of other Staged
-// results from earlier or later operations) can run concurrently with
-// subsequent Begins. On error the database is unchanged.
+// Staged is the committed-but-unencoded result of Begin: the ordered
+// section already applied the operation and advanced the counters;
+// Finish does the remaining work — canonical answer encoding and VO
+// pruning — on the captured immutable snapshot, outside any lock.
+type Staged struct {
+	shard    int
+	preCtr   uint64
+	postGctr uint64
+	rec      *merkle.Recording
+	ans      any
+	heads    []headEntry // published head vector; nil on a single-shard DB
+}
+
+// Begin routes op to its shard and runs that shard's ordered section.
+// See BeginShard; on a single-shard database this is exactly the
+// pre-forest Begin.
+func (db *DB) Begin(op Op) (*Staged, error) {
+	sid, err := db.ShardFor(op)
+	if err != nil {
+		return nil, err
+	}
+	return db.BeginShard(sid, op)
+}
+
+// BeginShard is the ordered section of the pipelined hot path for one
+// shard: it applies op to the shard's persistent tree, bumps the shard
+// counter, publishes the new head under fmu, and captures the
+// recording — and nothing else. The returned Staged references only
+// immutable nodes of the persistent tree, so Finish (and any number of
+// other Staged results from earlier or later operations, on this shard
+// or any other) can run concurrently with subsequent Begins. On error
+// the database is unchanged.
 //
 // Unlike Apply, a failure to encode the answer surfaces in Finish,
 // after the transition is already committed; that only happens for
 // answers that are not gob-encodable, which is a bug in the operation,
 // not a reachable server state.
-func (db *DB) Begin(op Op) (*Staged, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	rec := db.tree.Record()
+func (db *DB) BeginShard(sid int, op Op) (*Staged, error) {
+	return db.BeginShardIn(sid, op, nil)
+}
+
+// BeginShardIn is BeginShard with a section hook: section (if non-nil)
+// runs inside the shard's ordered section, after the operation has
+// committed and published, so a caller can swap its own per-shard
+// bookkeeping atomically with the counter bump — without stacking a
+// second mutex in front of the instrumented one, which would both
+// double the lock hand-offs on the hot path and hide the real queueing
+// from the shard's contention counters. section must be short; its
+// time is accounted as held time. It does not run if the operation
+// fails.
+func (db *DB) BeginShardIn(sid int, op Op, section func(st *Staged)) (*Staged, error) {
+	if sid < 0 || sid >= len(db.shards) {
+		return nil, fmt.Errorf("%w: shard %d out of range [0,%d)", ErrBadOp, sid, len(db.shards))
+	}
+	s := db.shards[sid]
+	s.lock()
+	rec := s.tree.Record()
 	ans, err := op.Apply(&Tx{rec: rec})
 	if err != nil {
+		s.unlock()
 		return nil, err
 	}
-	st := &Staged{preCtr: db.ctr, rec: rec, ans: ans}
-	db.tree = rec.Tree()
-	db.ctr++
+	st := &Staged{shard: sid, preCtr: s.ctr, rec: rec, ans: ans}
+	s.tree = rec.Tree()
+	s.ctr++
+	db.fmu.Lock()
+	db.gctr++
+	db.heads[sid] = headEntry{tree: s.tree, ctr: s.ctr}
+	st.postGctr = db.gctr
+	if len(db.shards) > 1 {
+		st.heads = append([]headEntry(nil), db.heads...)
+	}
+	db.fmu.Unlock()
+	if section != nil {
+		section(st)
+	}
+	s.unlock()
 	return st, nil
 }
 
-// PreCtr returns ctr as of the start of the staged operation — the
-// value the protocols present to the user.
+// PreCtr returns the shard counter as of the start of the staged
+// operation — the value the protocols present to the user.
 func (st *Staged) PreCtr() uint64 { return st.preCtr }
+
+// Shard returns the shard the operation ran on.
+func (st *Staged) Shard() int { return st.shard }
+
+// PostGctr returns the global operation counter as of the publication
+// of this operation.
+func (st *Staged) PostGctr() uint64 { return st.postGctr }
+
+// Heads returns the published per-shard head vector as of this
+// operation, nil on a single-shard database. Root digests are computed
+// here, outside every lock (they are memoized on the persistent
+// trees).
+func (st *Staged) Heads() []ShardHead { return shardHeadsOf(st.heads) }
 
 // Finish produces the canonical answer encoding and the verification
 // object. It is safe to call concurrently with any database activity.
@@ -269,15 +373,30 @@ func (st *Staged) Finish() (ansBytes []byte, vo *merkle.VO, err error) {
 // Preload applies op without advancing ctr or building a VO. It
 // constructs the initial database state D₀ (which the paper allows to
 // be arbitrary, with M(D₀) common knowledge) before any protocol
-// starts; it must not be called afterwards.
+// starts; it must not be called afterwards. On a sharded database a
+// WriteOp is split per shard; any other op must route to one shard.
 func (db *DB) Preload(op Op) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	tx := &Tx{tree: db.tree}
-	if _, err := op.Apply(tx); err != nil {
+	parts, err := db.splitPreload(op)
+	if err != nil {
 		return err
 	}
-	db.tree = tx.tree
+	for sid, part := range parts {
+		if part == nil {
+			continue
+		}
+		s := db.shards[sid]
+		s.lock()
+		tx := &Tx{tree: s.tree}
+		if _, err := part.Apply(tx); err != nil {
+			s.unlock()
+			return err
+		}
+		s.tree = tx.tree
+		db.fmu.Lock()
+		db.heads[sid] = headEntry{tree: s.tree, ctr: s.ctr}
+		db.fmu.Unlock()
+		s.unlock()
+	}
 	return nil
 }
 
@@ -285,9 +404,14 @@ func (db *DB) Preload(op Op) error {
 // trusted-server execution path, used as the performance floor in the
 // workload-preservation experiments (desideratum 3).
 func (db *DB) ApplyPlain(op Op) (ansBytes []byte, err error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	tx := &Tx{tree: db.tree}
+	sid, err := db.ShardFor(op)
+	if err != nil {
+		return nil, err
+	}
+	s := db.shards[sid]
+	s.lock()
+	defer s.unlock()
+	tx := &Tx{tree: s.tree}
 	ans, err := op.Apply(tx)
 	if err != nil {
 		return nil, err
@@ -299,50 +423,111 @@ func (db *DB) ApplyPlain(op Op) (ansBytes []byte, err error) {
 	if err != nil {
 		return nil, err
 	}
-	db.tree = tx.tree
-	db.ctr++
+	s.tree = tx.tree
+	s.ctr++
+	db.publish(sid, s)
 	return ansBytes, nil
 }
 
-// Snapshot captures the database (tree structure + operation counter)
-// for persistence. The restored database has the identical root
-// digest, so a restarted server stays consistent with every client's
-// verified state.
+// Snapshot captures the database (tree structure + operation counters)
+// for persistence. The restored database has the identical
+// root-of-roots, so a restarted server stays consistent with every
+// client's verified state. A single-shard snapshot uses the legacy
+// single-tree layout, byte-compatible with pre-forest snapshots.
 func (db *DB) Snapshot() *DBSnapshot {
-	db.mu.Lock()
-	ctr, tree := db.ctr, db.tree
-	db.mu.Unlock()
-	// The structural walk happens outside the lock: tree is persistent,
-	// so the captured version never changes under us.
-	return &DBSnapshot{Ctr: ctr, Tree: tree.Snapshot()}
+	db.fmu.Lock()
+	gctr := db.gctr
+	heads := append([]headEntry(nil), db.heads...)
+	db.fmu.Unlock()
+	// The structural walk happens outside the lock: trees are
+	// persistent, so the captured versions never change under us.
+	if len(heads) == 1 {
+		return &DBSnapshot{Ctr: gctr, Tree: heads[0].tree.Snapshot()}
+	}
+	out := &DBSnapshot{Ctr: gctr, Shards: make([]ShardSnapshot, len(heads))}
+	for i, e := range heads {
+		out.Shards[i] = ShardSnapshot{Ctr: e.ctr, Tree: e.tree.Snapshot()}
+	}
+	return out
 }
 
-// DBSnapshot is the persistent form of a DB.
+// DBSnapshot is the persistent form of a DB. Exactly one of Tree
+// (single-shard legacy layout) and Shards (forest layout) is set.
 type DBSnapshot struct {
+	Ctr  uint64
+	Tree *merkle.Snapshot
+	// Shards is the forest layout (one entry per shard). Empty for
+	// single-shard databases, which keeps their snapshots — and
+	// everything embedding them — identical to the pre-forest format.
+	Shards []ShardSnapshot
+}
+
+// ShardSnapshot is the persistent form of one shard.
+type ShardSnapshot struct {
 	Ctr  uint64
 	Tree *merkle.Snapshot
 }
 
 // RestoreDB rebuilds a database from a snapshot.
 func RestoreDB(s *DBSnapshot) (*DB, error) {
-	if s == nil || s.Tree == nil {
+	if s == nil || (s.Tree == nil && len(s.Shards) == 0) {
 		return nil, errors.New("vdb: nil snapshot")
 	}
-	t, err := merkle.Restore(s.Tree)
-	if err != nil {
-		return nil, err
+	if len(s.Shards) == 0 {
+		t, err := merkle.Restore(s.Tree)
+		if err != nil {
+			return nil, err
+		}
+		db := newForest(1)
+		db.shards[0].tree, db.shards[0].ctr = t, s.Ctr
+		db.gctr = s.Ctr
+		db.heads[0] = headEntry{tree: t, ctr: s.Ctr}
+		return db, nil
 	}
-	return &DB{tree: t, ctr: s.Ctr}, nil
+	if len(s.Shards) > MaxShards {
+		return nil, fmt.Errorf("vdb: snapshot has %d shards, max %d", len(s.Shards), MaxShards)
+	}
+	db := newForest(len(s.Shards))
+	var sum uint64
+	for i, ss := range s.Shards {
+		if ss.Tree == nil {
+			return nil, fmt.Errorf("vdb: snapshot shard %d has nil tree", i)
+		}
+		t, err := merkle.Restore(ss.Tree)
+		if err != nil {
+			return nil, fmt.Errorf("vdb: snapshot shard %d: %w", i, err)
+		}
+		db.shards[i].tree, db.shards[i].ctr = t, ss.Ctr
+		db.heads[i] = headEntry{tree: t, ctr: ss.Ctr}
+		sum += ss.Ctr
+	}
+	// Snapshots are untrusted input read back from disk: the forest
+	// invariant gctr = Σ shard counters must hold or the file is
+	// corrupt (or forged).
+	if sum != s.Ctr {
+		return nil, fmt.Errorf("vdb: snapshot gctr %d != sum of shard counters %d", s.Ctr, sum)
+	}
+	db.gctr = s.Ctr
+	return db, nil
 }
 
 // Fork returns an independent copy of the database sharing structure
 // with the original — the primitive the adversary package uses to
-// mount the Figure 1 partition attack. Cheap because the tree is
-// persistent.
+// mount the Figure 1 partition attack. Cheap because the trees are
+// persistent; the cut is the published head vector, a consistent point
+// of the forest order.
 func (db *DB) Fork() *DB {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return &DB{tree: db.tree, ctr: db.ctr}
+	db.fmu.Lock()
+	gctr := db.gctr
+	heads := append([]headEntry(nil), db.heads...)
+	db.fmu.Unlock()
+	out := newForest(len(heads))
+	for i, e := range heads {
+		out.shards[i].tree, out.shards[i].ctr = e.tree, e.ctr
+		out.heads[i] = e
+	}
+	out.gctr = gctr
+	return out
 }
 
 // VerifyDerive replays op on the VO's pruned pre-state without a

@@ -24,9 +24,12 @@ go test -race ./...
 # The full race run above already includes the fault and witness
 # suites; this named pass keeps the PRs' acceptance scenarios one
 # command away: kill/restart a live server mid-workload over faulty
-# connections (E14), and kill the primary for good — witness promotion,
-# client failover, fork conviction by gossip, zero false alarms (E15).
-go test -race -run 'Fault|Resilient|Resume|Recovery|Witness|E14|E15' ./internal/fault ./internal/transport ./internal/broadcast ./internal/server ./internal/witness ./internal/bench
+# connections (E14), kill the primary for good — witness promotion,
+# client failover, fork conviction by gossip, zero false alarms (E15) —
+# and the Merkle forest: 64 racing clients over sharded trees with a
+# gap-free global permutation, torn cross-shard commits detected as
+# typed evidence, and the E16 scaling sweep shape.
+go test -race -run 'Fault|Resilient|Resume|Recovery|Witness|E14|E15|Forest|Torn|E16' ./internal/fault ./internal/transport ./internal/broadcast ./internal/server ./internal/witness ./internal/bench ./internal/core/proto2 .
 
 go test -run='^$' -fuzz='^FuzzFrameDecode$' -fuzztime=10s ./internal/wire
 go test -run='^$' -fuzz='^FuzzVOVerify$' -fuzztime=10s ./internal/merkle

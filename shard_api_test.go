@@ -1,0 +1,168 @@
+package trustedcvs_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"trustedcvs"
+	"trustedcvs/internal/vdb"
+)
+
+// shardSplitKeys returns two keys routing to different shards of an
+// n-shard forest (routing is a pure function of the key).
+func shardSplitKeys(t *testing.T, n int) (string, string) {
+	t.Helper()
+	keys := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}
+	for _, a := range keys {
+		for _, b := range keys {
+			if vdb.RouteKey(a, n) != vdb.RouteKey(b, n) {
+				return a, b
+			}
+		}
+	}
+	t.Fatal("no key pair splits across shards")
+	return "", ""
+}
+
+// TestForestCluster runs a sharded cluster end to end: CVS commits
+// (colocated on one shard), raw key-value traffic across shards, a
+// cross-shard transaction, and clean sync barriers throughout.
+func TestForestCluster(t *testing.T) {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{
+		Protocol: trustedcvs.ProtocolII, Users: 3, SyncEvery: 8, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	alice := cluster.Repo(0, "alice")
+	if _, err := alice.Commit(map[string][]byte{"README": []byte("forest\n")}, "import", nil); err != nil {
+		t.Fatal(err)
+	}
+	files, err := cluster.Repo(1, "bob").Checkout("README")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(files["README"]) != "forest\n" {
+		t.Fatalf("checkout: %q", files["README"])
+	}
+
+	ka, kb := shardSplitKeys(t, 4)
+	op := &trustedcvs.CrossOp{Legs: []trustedcvs.Op{
+		&trustedcvs.WriteOp{Puts: []trustedcvs.KV{{Key: ka, Val: []byte("left")}}},
+		&trustedcvs.WriteOp{Puts: []trustedcvs.KV{{Key: kb, Val: []byte("right")}}},
+	}}
+	ans, err := cluster.Do(1, op)
+	if err != nil {
+		t.Fatalf("cross op: %v", err)
+	}
+	if ca, ok := ans.(trustedcvs.CrossAnswer); !ok || len(ca.Answers) != 2 {
+		t.Fatalf("cross answer: %#v", ans)
+	}
+	// Enough mixed traffic to cross several sync barriers.
+	for i := 0; i < 20; i++ {
+		if _, err := cluster.Do(i%3, &trustedcvs.WriteOp{Puts: []trustedcvs.KV{{Key: fmt.Sprintf("k%d", i), Val: []byte("v")}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := cluster.WaitIdle(i, 5*time.Second); err != nil {
+			t.Fatalf("user %d: %v", i, err)
+		}
+	}
+}
+
+// TestForestSingleShardCompat: Shards=1 must reproduce the classic
+// single-tree behavior, including CrossOp degrading to an ordinary
+// composite operation on the plain path.
+func TestForestSingleShardCompat(t *testing.T) {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{
+		Protocol: trustedcvs.ProtocolII, Users: 2, SyncEvery: 4, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	op := &trustedcvs.CrossOp{Legs: []trustedcvs.Op{
+		&trustedcvs.WriteOp{Puts: []trustedcvs.KV{{Key: "a", Val: []byte("1")}}},
+		&trustedcvs.WriteOp{Puts: []trustedcvs.KV{{Key: "b", Val: []byte("2")}}},
+	}}
+	if _, err := cluster.Do(0, op); err != nil {
+		t.Fatalf("cross op on single shard: %v", err)
+	}
+	ans, err := cluster.Do(1, &trustedcvs.ReadOp{Keys: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := ans.(trustedcvs.ReadAnswer)
+	if string(ra.Results[0].Val) != "1" || string(ra.Results[1].Val) != "2" {
+		t.Fatalf("read-back: %+v", ra)
+	}
+	for i := 0; i < 2; i++ {
+		if err := cluster.WaitIdle(i, 5*time.Second); err != nil {
+			t.Fatalf("user %d: %v", i, err)
+		}
+	}
+}
+
+// TestForestTornCommitCluster is the satellite adversary scenario: the
+// server commits one leg of a cross-shard transaction and drops the
+// other. The committing client must raise the typed TornTransaction
+// detection — distinct from single-shard tamper classes — before the
+// next sync barrier.
+func TestForestTornCommitCluster(t *testing.T) {
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{
+		Protocol: trustedcvs.ProtocolII, Users: 2, SyncEvery: 64, Shards: 4,
+		Malice: trustedcvs.Malice{Behavior: "torn-commit", TriggerOp: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ka, kb := shardSplitKeys(t, 4)
+	if _, err := cluster.Do(0, &trustedcvs.WriteOp{Puts: []trustedcvs.KV{{Key: ka, Val: []byte("seed")}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Op 2: the first cross-shard transaction at/after the trigger —
+	// the one the server tears.
+	op := &trustedcvs.CrossOp{Legs: []trustedcvs.Op{
+		&trustedcvs.WriteOp{Puts: []trustedcvs.KV{{Key: ka, Val: []byte("tx-left")}}},
+		&trustedcvs.WriteOp{Puts: []trustedcvs.KV{{Key: kb, Val: []byte("tx-right")}}},
+	}}
+	if _, err := cluster.Do(0, op); err != nil {
+		t.Fatalf("the torn response alone should verify: %v", err)
+	}
+	// The victim's next operation is served from the history missing
+	// the second leg; with SyncEvery=64 no sync barrier intervenes.
+	_, err = cluster.Do(0, &trustedcvs.ReadOp{Keys: []string{ka}})
+	de, ok := trustedcvs.AsDetection(err)
+	if !ok {
+		t.Fatalf("torn commit went undetected: %v", err)
+	}
+	if de.Class != trustedcvs.TornTransaction {
+		t.Fatalf("detected class %v, want %v", de.Class, trustedcvs.TornTransaction)
+	}
+	if got := cluster.Err(0); got == nil {
+		t.Fatal("victim's detection was not recorded as terminal")
+	}
+}
+
+// TestForestConfigValidation: the forest rejects configurations its
+// detection guarantees do not cover.
+func TestForestConfigValidation(t *testing.T) {
+	for _, cfg := range []trustedcvs.ClusterConfig{
+		{Users: 1, Protocol: trustedcvs.ProtocolI, Shards: 4},
+		{Users: 1, Protocol: trustedcvs.ProtocolIII, Shards: 4},
+		{Users: 1, Protocol: trustedcvs.ProtocolII, Shards: 4, JournalCap: 8},
+		{Users: 1, Protocol: trustedcvs.ProtocolII, Shards: -1},
+		{Users: 1, Protocol: trustedcvs.ProtocolII, Shards: 100000},
+	} {
+		if _, err := trustedcvs.NewLocalCluster(cfg); err == nil {
+			t.Fatalf("config %+v was accepted", cfg)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"trustedcvs/internal/adversary"
+	"trustedcvs/internal/audit"
 	"trustedcvs/internal/broadcast"
 	"trustedcvs/internal/core/proto1"
 	"trustedcvs/internal/core/proto2"
@@ -62,6 +63,19 @@ type ClusterConfig struct {
 	// Network, when true, runs the server, hub and clients over real
 	// TCP sockets on localhost instead of in-process transports.
 	Network bool
+	// AuditEpoch switches Protocol II clients into epoch-audit mode:
+	// operations return optimistically and a background auditor closes
+	// one epoch of AuditEpoch global operations at a time. Detection
+	// weakens from "before the next operation" to "within one epoch" —
+	// the paper's k-bounded deviation knob made concrete (see AUDIT.md).
+	// 0 keeps the synchronous barrier; SyncEvery is ignored for sync
+	// scheduling when set (epoch closure replaces sync rounds). Requires
+	// Protocol II.
+	AuditEpoch uint64
+	// AuditQueue is the epoch auditor's bounded queue capacity (0 = the
+	// audit package default). A full queue degrades clients to the
+	// audit rate; it never drops verification obligations.
+	AuditQueue int
 }
 
 // Cluster is a ready-to-use deployment: an (optionally malicious)
@@ -107,6 +121,9 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Shards > 1 && cfg.JournalCap > 0 {
 		return nil, fmt.Errorf("trustedcvs: transition journals are single-tree only (Shards=1)")
 	}
+	if cfg.AuditEpoch > 0 && cfg.Protocol != ProtocolII {
+		return nil, fmt.Errorf("trustedcvs: epoch-audit mode requires Protocol II")
+	}
 	db := vdb.NewSharded(cfg.MerkleOrder, cfg.Shards)
 	signers, ring, err := sig.DeterministicSigners(cfg.Users, cfg.KeySeed)
 	if err != nil {
@@ -137,7 +154,17 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		pub := witness.NewPublisher(wid, cfg.CommitEvery)
+		every := cfg.CommitEvery
+		if cfg.AuditEpoch > 0 && every == 0 {
+			// Epoch-audit deployments default the commitment cadence to
+			// the epoch length, aligned to the epoch grid, so every
+			// closure check has a commitment from its own window.
+			every = cfg.AuditEpoch
+		}
+		pub := witness.NewPublisher(wid, every)
+		if cfg.AuditEpoch > 0 {
+			pub.Align()
+		}
 		for i := 0; i < cfg.Witnesses; i++ {
 			c.witnesses = append(c.witnesses, witness.NewNode(fmt.Sprintf("witness-%d", i), 0))
 		}
@@ -218,7 +245,15 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 			if cfg.JournalCap > 0 {
 				u.EnableJournal(cfg.JournalCap)
 			}
-			dc = driver.NewP2(u, conn, bc, cfg.Users)
+			if cfg.AuditEpoch > 0 {
+				dc, err = driver.NewP2Epoch(u, conn, bc, cfg.Users, cfg.AuditEpoch, cfg.AuditQueue)
+				if err != nil {
+					c.Close()
+					return nil, err
+				}
+			} else {
+				dc = driver.NewP2(u, conn, bc, cfg.Users)
+			}
 		case ProtocolIII:
 			u := proto3.NewUser(signers[i], ring, db.Root())
 			if cfg.JournalCap > 0 {
@@ -228,6 +263,11 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		if c.publisher != nil {
 			chk := witness.NewCheck("primary", c.publisher.Identity().Public(), 0)
+			if cfg.AuditEpoch > 0 && 4*cfg.AuditEpoch > uint64(witness.DefaultCheckWindow) {
+				// Verification lags up to one pipelined epoch behind the
+				// hot path; keep boundary commitments inside the window.
+				chk.SetWindow(int(4 * cfg.AuditEpoch))
+			}
 			for _, n := range c.witnesses {
 				nn := n
 				chk.AddWitness(nn.Name(), func() (transport.Caller, error) {
@@ -275,6 +315,36 @@ func (c *Cluster) WaitIdle(i int, timeout time.Duration) error {
 
 // Err returns user i's recorded detection error, if any.
 func (c *Cluster) Err(i int) error { return c.clients[i].Err() }
+
+// Seal publishes every client's final registers (epoch-audit mode):
+// no client will issue further operations, and the auditors may close
+// the tail window. No-op for synchronous clusters.
+func (c *Cluster) Seal() {
+	for _, cl := range c.clients {
+		cl.Seal()
+	}
+}
+
+// WaitSealed blocks until every client's auditor has passed the
+// all-sealed final closure check (call Seal first), returning the
+// first failure. For synchronous clusters it reduces to Err.
+func (c *Cluster) WaitSealed(timeout time.Duration) error {
+	for _, cl := range c.clients {
+		if err := cl.WaitSealed(timeout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AuditStats returns user i's epoch-auditor counters (zero value for
+// synchronous clusters).
+func (c *Cluster) AuditStats(i int) audit.Stats {
+	if a := c.clients[i].Audit(); a != nil {
+		return a.Stats()
+	}
+	return audit.Stats{}
+}
 
 // AdvanceEpoch moves a Protocol III server into the next epoch (the
 // cluster owner stands in for the wall-clock timer).

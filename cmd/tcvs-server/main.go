@@ -70,6 +70,9 @@ func main() {
 		gossipIvl   = flag.Duration("gossip-interval", 2*time.Second, "gossip round cadence (-witness mode)")
 		witnesses   = flag.String("witnesses", "", "comma-separated witness addresses the primary publishes signed root commitments to")
 		commitEvery = flag.Uint64("commit-every", 0, "commitment cadence in operations (0 = default)")
+
+		auditMode = flag.String("audit", "sync", "client audit mode this deployment is provisioned for: sync (per-op barrier) or epoch (async epoch-batched audit)")
+		epochLen  = flag.Uint64("epoch-len", 0, "epoch length in global operations (-audit epoch; clients must use the same value)")
 	)
 	flag.Parse()
 
@@ -87,6 +90,25 @@ func main() {
 	}
 	if *shards > 1 && p != server.P2 {
 		log.Fatalf("-shards needs -proto 2 (forest mode is a Protocol II feature)")
+	}
+	// Epoch-audit mode is a client-side choice (see internal/audit);
+	// the server's share of it is pinning the witness commitment
+	// cadence to the epoch grid so every closure check can compare
+	// against a commitment from its own window.
+	epochAudit := false
+	switch *auditMode {
+	case "sync":
+	case "epoch":
+		if p != server.P2 {
+			log.Fatal("-audit epoch needs -proto 2")
+		}
+		if *epochLen == 0 {
+			log.Fatal("-audit epoch needs -epoch-len")
+		}
+		epochAudit = true
+		log.Printf("provisioned for epoch-batched audit: N=%d (detection within one epoch)", *epochLen)
+	default:
+		log.Fatalf("-audit %q: want sync or epoch", *auditMode)
 	}
 	db := vdb.New(*order)
 	if *shards > 1 {
@@ -148,7 +170,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		pub := witness.NewPublisher(wid, *commitEvery)
+		every := *commitEvery
+		if epochAudit && every == 0 {
+			every = *epochLen
+		}
+		pub := witness.NewPublisher(wid, every)
+		if epochAudit {
+			pub.Align()
+		}
 		count := 0
 		for _, w := range strings.Split(*witnesses, ",") {
 			w = strings.TrimSpace(w)

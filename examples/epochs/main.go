@@ -1,20 +1,120 @@
-// Epochs: Protocol III in action. Two developers in opposite time
-// zones are NEVER online at the same time, so no broadcast channel is
-// possible — instead they store signed epoch summaries on the server
-// itself, and a rotating checker audits each epoch two epochs later.
-// A forking server is caught within two epochs (Theorem 4.3).
+// Epochs: detection on an epoch cadence, two ways.
 //
-// Run with: go run ./examples/epochs
+// The default run is Protocol III in action. Two developers in
+// opposite time zones are NEVER online at the same time, so no
+// broadcast channel is possible — instead they store signed epoch
+// summaries on the server itself, and a rotating checker audits each
+// epoch two epochs later. A forking server is caught within two
+// epochs (Theorem 4.3).
+//
+// With -audit, the *epoch-audit* variant of Protocol II instead
+// (AUDIT.md): the developers do share a broadcast channel, but
+// verification moves off the hot path — every answer is released
+// immediately and a background auditor verifies it, closing one epoch
+// of N global operations at a time. A forged answer is consumed
+// optimistically and convicted within one epoch.
+//
+// Run with: go run ./examples/epochs [-audit]
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"trustedcvs"
+	"trustedcvs/internal/audit"
 )
 
 func main() {
+	auditMode := flag.Bool("audit", false, "run the Protocol II epoch-audit variant (AUDIT.md) instead of Protocol III")
+	flag.Parse()
+	if *auditMode {
+		runEpochAudit()
+		return
+	}
+	runProtocolIII()
+}
+
+// runEpochAudit demonstrates verification off the hot path: answers
+// return immediately, the background auditor convicts the fork
+// within one epoch of N global operations.
+func runEpochAudit() {
+	const epochLen = 8
+	// The server forks at the 5th operation — in epoch 0. Each branch
+	// stays internally consistent, so every individual answer verifies;
+	// only the per-epoch closure check can see the contradiction.
+	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{
+		Protocol:   trustedcvs.ProtocolII,
+		Users:      2,
+		AuditEpoch: epochLen,
+		Malice: trustedcvs.Malice{
+			Behavior:  "fork",
+			TriggerOp: 5,
+			GroupB:    []trustedcvs.UserID{1},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	day := cluster.Repo(0, "day-shift")
+	night := cluster.Repo(1, "night-shift")
+	repos := []*trustedcvs.Repo{day, night}
+
+	fmt.Printf("epoch-audit mode: answers release immediately, audit closes one epoch of %d global ops at a time\n", epochLen)
+
+	var detection error
+	opsAfterForgery := 0
+	for i := 0; i < 4*epochLen && detection == nil; i++ {
+		repo := repos[i%2]
+		file := fmt.Sprintf("notes-%d.txt", i%2)
+		_, err := repo.Commit(map[string][]byte{file: []byte(fmt.Sprintf("op %d\n", i))}, "work", nil)
+		if err != nil {
+			detection = err
+			break
+		}
+		if i+1 >= 5 {
+			// This op completed AFTER the forged answer: the optimistic
+			// window in action. The forgery is already queued for audit.
+			opsAfterForgery++
+		}
+	}
+	if detection == nil {
+		// The hot path never observed the failure (it can finish its
+		// work inside the optimistic window); sealing forces the final
+		// epoch closure, which must convict.
+		cluster.Seal()
+		detection = cluster.WaitSealed(10 * time.Second)
+	}
+
+	de, ok := trustedcvs.AsDetection(detection)
+	if !ok {
+		log.Fatalf("expected a detection, got: %v", detection)
+	}
+	var ef *audit.EpochAuditFailure
+	if !errors.As(detection, &ef) {
+		log.Fatalf("detection is not a typed epoch-audit failure: %v", detection)
+	}
+	fmt.Printf("\n%d operations completed on the forked history before conviction — that is the optimistic window\n", opsAfterForgery)
+	where := "the whole epoch (closure-level check)"
+	if ef.Ctr != 0 {
+		where = fmt.Sprintf("first bad global counter %d", ef.Ctr)
+	}
+	fmt.Printf("CONVICTED asynchronously: epoch %d, %s, class %v\n", ef.Epoch, where, de.Class)
+	if opsAfterForgery > 2*epochLen {
+		log.Fatalf("exposure %d ops exceeds the one-epoch bound (N=%d)", opsAfterForgery, epochLen)
+	}
+	fmt.Printf("detection weakened exactly as specified: from 'before the next op' to 'within one epoch' (k = N = %d)\n", epochLen)
+	fmt.Println("(see AUDIT.md for the trust model delta and the backpressure contract)")
+}
+
+// runProtocolIII is the original demo: Protocol III, no user-to-user
+// communication at all.
+func runProtocolIII() {
 	// The server forks in epoch 1: the night-shift developer gets a
 	// diverged copy of the repository.
 	cluster, err := trustedcvs.NewLocalCluster(trustedcvs.ClusterConfig{

@@ -1,0 +1,696 @@
+// Package audit implements the epoch-batched asynchronous auditor of
+// Protocol II: the optimistic half of an optimistic/audit split in
+// which the server's answer is returned to the caller immediately and
+// every verification obligation — VO replay, register fold, counter
+// checks, the sync closure check, and the witness quorum cross-check —
+// moves onto a background goroutine that consumes a bounded queue of
+// (op, response) records.
+//
+// # Detection bound
+//
+// The synchronous driver detects a deviation before the next operation
+// starts. The auditor weakens this to *within one epoch*: global
+// operation counters are divided into fixed windows of N counters
+// (epoch e covers counters eN+1 .. (e+1)N), and the paper's sync-up
+// closure check (Lemma 4.1) runs once per window instead of once per
+// round. This is exactly the paper's k-bounded deviation knob: the
+// effective k becomes the epoch length N, measured in *global*
+// operations rather than per-user ones.
+//
+// # Consistent cuts without a barrier
+//
+// The lock-step barrier made register reports a consistent cut by
+// stopping the world. The auditor gets the same cut from the counters
+// themselves: each client's records arrive in its own operation order
+// with strictly increasing global counters, so when the audit stream
+// first crosses an epoch boundary the registers at that instant are
+// precisely this client's contribution to the prefix of the global
+// history ending at the boundary. Every client snapshots at the same
+// counter prefix, so the assembled report vector is a cut of the
+// global order — no barrier, no false alarms. Forest responses carry
+// GCtr (the sum of the shard head counters), which is strictly
+// increasing and orders every shard consistently, so a GCtr-prefix cut
+// induces a per-shard-prefix cut and core.CheckSyncForest applies
+// unchanged.
+//
+// A client that stops operating never crosses another boundary; its
+// Seal broadcast publishes its final registers, which stand in for
+// every epoch past the last one it crossed (it performed no operations
+// there, so the snapshot is unchanged). When every client has sealed,
+// one final closure check authenticates the tail window, giving full
+// shutdown coverage.
+//
+// # Backpressure
+//
+// Submit never drops a record. While the bounded queue has room the
+// hot path pays one channel send; when it is full the submitter blocks
+// until the auditor catches up — throughput degrades to the audit
+// rate, which is the synchronous mode's rate. The degradation count
+// and queue high-water mark are exported via Stats.
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"trustedcvs/internal/backoff"
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/core/proto2"
+	"trustedcvs/internal/digest"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/vdb"
+	"trustedcvs/internal/witness"
+)
+
+// DefaultQueue is the bounded queue capacity when Config.Queue is 0.
+const DefaultQueue = 256
+
+// Record is one audit obligation: the operation a client issued and
+// the response the server returned for it, queued in the client's own
+// operation order. Exactly one of Resp (single-shard) or CrossResp
+// (cross-shard transaction, with Cross set) is non-nil.
+type Record struct {
+	Op        vdb.Op
+	Resp      *core.OpResponseII
+	Cross     *vdb.CrossOp
+	CrossResp *core.OpResponseForest
+
+	seal bool
+}
+
+// Report is one client's register snapshot for one epoch boundary,
+// broadcast to every peer. A Seal report carries the client's final
+// registers and stands in for every epoch past the last one the
+// client crossed.
+type Report struct {
+	// Epoch is the 0-based epoch the snapshot closes (ignored for
+	// seals).
+	Epoch uint64
+	// Seal marks the client's final report: it has stopped operating.
+	Seal bool
+	// Report is the register snapshot itself.
+	Report core.SyncReportII
+}
+
+// Config parameterizes an Auditor.
+type Config struct {
+	// User is the Protocol II state machine to audit with. The auditor
+	// goroutine owns it exclusively from Start on; the hot path may only
+	// call its immutable accessors (ID, Request).
+	User *proto2.User
+	// Epoch is the epoch length N in global operation counters
+	// (required: > 0). Detection latency is bounded by one epoch.
+	Epoch uint64
+	// Users is the client population (required: > 0); epoch closure
+	// needs a report from every one of them.
+	Users int
+	// Queue is the bounded queue capacity (0 = DefaultQueue).
+	Queue int
+	// Publish broadcasts one of this client's own epoch reports to all
+	// peers, this client included (the driver wires it to the broadcast
+	// hub, whose FIFO loopback delivers it back through SubmitReport).
+	Publish func(Report) error
+	// Chain arms the shared-path replay cache on User (single-tree
+	// users only; see proto2.EnableReplayChain).
+	Chain bool
+}
+
+// Auditor drains a bounded queue of Records on a background goroutine,
+// verifying each against the user state machine, snapshotting register
+// reports at epoch boundaries, assembling the peers' reports, and
+// running the closure and witness checks once per epoch. The first
+// failure is terminal and is surfaced as an *EpochAuditFailure.
+type Auditor struct {
+	user   *proto2.User
+	id     sig.UserID
+	epoch  uint64
+	users  int
+	forest bool
+
+	initialState digest.Digest
+	geneses      []digest.Digest
+
+	publish func(Report) error
+
+	ch   chan Record
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	// emitted is the highest epoch this client's own boundary report
+	// was published for; worker-goroutine state, unlocked by design.
+	emitted int64
+
+	// Gate state below is guarded by mu (enter through lockGate /
+	// unlockGate; cond is tied to mu). The completion path
+	// (SubmitReport → tryCompleteLocked) runs on the driver's single
+	// receive goroutine, so epochs complete strictly in order.
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	check      *witness.Check
+	quarantine func()
+
+	failed    error
+	closed    bool
+	sealSent  bool
+	finalDone bool
+
+	maxEpoch  int64 // highest epoch any of this client's ops landed in
+	completed int64 // highest epoch whose closure check passed
+
+	reports map[uint64]map[sig.UserID]core.SyncReportII
+	seals   map[sig.UserID]core.SyncReportII
+
+	submitted uint64
+	audited   uint64
+	batches   uint64
+	maxBatch  int
+	highWater int
+	degraded  uint64
+	noQuorum  uint64
+}
+
+// New builds an Auditor and starts its background goroutine.
+func New(cfg Config) (*Auditor, error) {
+	if cfg.User == nil {
+		return nil, errors.New("audit: Config.User is required")
+	}
+	if cfg.Epoch == 0 {
+		return nil, errors.New("audit: Config.Epoch must be positive")
+	}
+	if cfg.Users <= 0 {
+		return nil, errors.New("audit: Config.Users must be positive")
+	}
+	if cfg.Publish == nil {
+		return nil, errors.New("audit: Config.Publish is required")
+	}
+	q := cfg.Queue
+	if q <= 0 {
+		q = DefaultQueue
+	}
+	a := &Auditor{
+		user:         cfg.User,
+		id:           cfg.User.ID(),
+		epoch:        cfg.Epoch,
+		users:        cfg.Users,
+		forest:       cfg.User.Forest(),
+		initialState: cfg.User.InitialState(),
+		geneses:      cfg.User.Geneses(),
+		publish:      cfg.Publish,
+		ch:           make(chan Record, q),
+		done:         make(chan struct{}),
+		emitted:      -1,
+		maxEpoch:     -1,
+		completed:    -1,
+		reports:      make(map[uint64]map[sig.UserID]core.SyncReportII),
+		seals:        make(map[sig.UserID]core.SyncReportII),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	if cfg.Chain {
+		a.user.EnableReplayChain()
+	}
+	a.wg.Add(1)
+	go a.run()
+	return a, nil
+}
+
+// lockGate and unlockGate wrap the auditor's gate mutex so the
+// lockscope lint tracks its critical sections like any other hot-path
+// lock: no slow call (codec, crypto, network, disk) may run inside.
+func (a *Auditor) lockGate()   { a.mu.Lock() }
+func (a *Auditor) unlockGate() { a.mu.Unlock() }
+
+// EpochLen returns the configured epoch length N.
+func (a *Auditor) EpochLen() uint64 { return a.epoch }
+
+// SetCheck arms the witness quorum cross-check: it runs once per
+// completed epoch, on the auditor, instead of once per sync round on
+// the hot path. Set before the first operation.
+func (a *Auditor) SetCheck(chk *witness.Check) {
+	a.lockGate()
+	defer a.unlockGate()
+	a.check = chk
+}
+
+// SetQuarantine registers a callback invoked (once) when the witness
+// check convicts the server, before the failure is recorded — the
+// driver uses it to quarantine the convicted endpoint.
+func (a *Auditor) SetQuarantine(fn func()) {
+	a.lockGate()
+	defer a.unlockGate()
+	a.quarantine = fn
+}
+
+// epochOf maps a post-operation global counter to its 0-based epoch.
+func (a *Auditor) epochOf(g uint64) uint64 {
+	if g == 0 {
+		return 0
+	}
+	return (g - 1) / a.epoch
+}
+
+// NoteEpoch records the epoch a just-issued operation's claimed
+// counter landed in; WaitAdmissible gates the next operation on it.
+// The claim is untrusted, but a lie is harmless here: understating it
+// trips the auditor's counter checks, overstating it only makes the
+// client gate earlier.
+func (a *Auditor) NoteEpoch(g uint64) {
+	e := int64(a.epochOf(g))
+	a.lockGate()
+	defer a.unlockGate()
+	if e > a.maxEpoch {
+		a.maxEpoch = e
+	}
+}
+
+// WaitAdmissible blocks while this client is a full epoch ahead of the
+// audit: operations in epoch e proceed freely once e-1 has closed, and
+// the op that first crosses into e may be issued while e-1 is still
+// closing (its own audit is what publishes this client's e-1 boundary
+// report, so admission cannot deadlock on it). This bounds the
+// optimistic window — and therefore detection latency — to one epoch.
+// Returns the terminal failure (or ErrClosed) instead of admitting.
+func (a *Auditor) WaitAdmissible() error {
+	a.lockGate()
+	defer a.unlockGate()
+	for a.failed == nil && !a.closed && a.maxEpoch > a.completed+1 {
+		a.cond.Wait()
+	}
+	if a.failed != nil {
+		return a.failed
+	}
+	if a.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Submit queues one record for audit, in the client's operation order.
+// It never drops: when the queue is full it counts a degradation and
+// blocks until the auditor catches up (throughput falls back to the
+// synchronous rate). Returns the terminal failure, if any, so the hot
+// path stops issuing promptly.
+func (a *Auditor) Submit(rec Record) error {
+	a.lockGate()
+	if a.failed != nil {
+		err := a.failed
+		a.unlockGate()
+		return err
+	}
+	if a.closed {
+		a.unlockGate()
+		return ErrClosed
+	}
+	a.submitted++
+	if occ := len(a.ch) + 1; occ > a.highWater {
+		a.highWater = occ
+	}
+	a.unlockGate()
+
+	select {
+	case a.ch <- rec:
+		return nil
+	default:
+	}
+	a.lockGate()
+	a.degraded++
+	a.unlockGate()
+	select {
+	case a.ch <- rec:
+		return nil
+	case <-a.done:
+		return ErrClosed
+	}
+}
+
+// Seal publishes this client's final registers: it has stopped
+// operating, and its last snapshot stands in for every later epoch.
+// Once all clients have sealed, a final closure check covers the tail
+// window. Idempotent.
+//
+// Sealing is a liveness obligation, not just a shutdown courtesy: a
+// client that goes quiet without sealing withholds its boundary
+// reports, the open epoch never closes, and peers that have raced one
+// epoch ahead stall at WaitAdmissible — exactly as a quiet user stalls
+// a sync-barrier round in the underlying protocol.
+func (a *Auditor) Seal() {
+	a.lockGate()
+	if a.sealSent || a.closed {
+		a.unlockGate()
+		return
+	}
+	a.sealSent = true
+	a.submitted++
+	a.unlockGate()
+	select {
+	case a.ch <- Record{seal: true}:
+	case <-a.done:
+	}
+}
+
+// Err returns the terminal audit failure, if any.
+func (a *Auditor) Err() error {
+	a.lockGate()
+	defer a.unlockGate()
+	return a.failed
+}
+
+// Completed returns the number of epochs whose closure check passed.
+func (a *Auditor) Completed() uint64 {
+	a.lockGate()
+	defer a.unlockGate()
+	return uint64(a.completed + 1)
+}
+
+// NoQuorumSkips reports how many per-epoch witness checks were skipped
+// for lack of a quorum (availability loss, never detection).
+func (a *Auditor) NoQuorumSkips() uint64 {
+	a.lockGate()
+	defer a.unlockGate()
+	return a.noQuorum
+}
+
+// Stats is a snapshot of the auditor's counters.
+type Stats struct {
+	Submitted uint64 // records submitted (seals included)
+	Audited   uint64 // records processed by the worker
+	Batches   uint64 // worker wake-ups (records drained per wake-up amortize)
+	MaxBatch  int    // largest single batch
+	QueueCap  int    // configured queue capacity
+	HighWater int    // max queue occupancy observed at submit time
+	Degraded  uint64 // submits that found the queue full and blocked
+	Epochs    uint64 // epochs whose closure check passed
+	// ChainHits/ChainMisses: shared-path replays vs full VO
+	// verifications (both 0 unless Config.Chain).
+	ChainHits   uint64
+	ChainMisses uint64
+}
+
+// Stats returns a snapshot of the auditor's counters. The chain
+// counters are read from the user state machine, so call only when the
+// worker is quiesced (drained or stopped) for exact values.
+func (a *Auditor) Stats() Stats {
+	a.lockGate()
+	defer a.unlockGate()
+	hits, misses := a.user.ChainStats()
+	return Stats{
+		Submitted: a.submitted, Audited: a.audited,
+		Batches: a.batches, MaxBatch: a.maxBatch,
+		QueueCap: cap(a.ch), HighWater: a.highWater, Degraded: a.degraded,
+		Epochs:    uint64(a.completed + 1),
+		ChainHits: hits, ChainMisses: misses,
+	}
+}
+
+// WaitDrained blocks until every submitted record has been audited (or
+// the terminal failure / timeout hits). It does not require seals:
+// epochs still open stay open.
+func (a *Auditor) WaitDrained(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	poll := backoff.Poll(time.Millisecond)
+	a.lockGate()
+	defer a.unlockGate()
+	for a.failed == nil && !a.closed && a.audited < a.submitted {
+		if time.Now().After(deadline) {
+			return errors.New("audit: WaitDrained timeout")
+		}
+		a.unlockGate()
+		poll.Sleep()
+		a.lockGate()
+	}
+	return a.failed
+}
+
+// WaitSealed blocks until the all-sealed final closure check has
+// passed (requires every client in the population to have sealed), a
+// terminal failure is recorded, or the timeout hits.
+func (a *Auditor) WaitSealed(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	poll := backoff.Poll(time.Millisecond)
+	a.lockGate()
+	defer a.unlockGate()
+	for a.failed == nil && !a.finalDone {
+		if time.Now().After(deadline) {
+			return errors.New("audit: WaitSealed timeout")
+		}
+		a.unlockGate()
+		poll.Sleep()
+		a.lockGate()
+	}
+	return a.failed
+}
+
+// Stop shuts the auditor down: waiters are released with ErrClosed and
+// the worker goroutine exits. Records still queued are not audited —
+// call Seal and WaitSealed first for full coverage. Idempotent.
+func (a *Auditor) Stop() {
+	a.lockGate()
+	if a.closed {
+		a.unlockGate()
+		return
+	}
+	a.closed = true
+	a.cond.Broadcast()
+	a.unlockGate()
+	close(a.done)
+	a.wg.Wait()
+}
+
+// run is the worker goroutine: it owns the user state machine.
+func (a *Auditor) run() {
+	defer a.wg.Done()
+	var obs []witness.Observation
+	for {
+		var rec Record
+		select {
+		case <-a.done:
+			return
+		case rec = <-a.ch:
+		}
+		// Batch drain: everything already queued is verified in one
+		// sweep, amortizing the witness-observation lock and the gate
+		// update — and giving the shared-path replay chain consecutive
+		// records to chain across.
+		batch := []Record{rec}
+		for n := len(a.ch); n > 0; n-- {
+			batch = append(batch, <-a.ch)
+		}
+		obs = obs[:0]
+		for _, r := range batch {
+			a.process(r, &obs)
+		}
+		a.lockGate()
+		chk := a.check
+		a.unlockGate()
+		if chk != nil {
+			chk.ObserveBatch(obs)
+		}
+		a.lockGate()
+		a.audited += uint64(len(batch))
+		a.batches++
+		if len(batch) > a.maxBatch {
+			a.maxBatch = len(batch)
+		}
+		a.unlockGate()
+	}
+}
+
+// process audits one record: emit boundary snapshots it crosses, then
+// verify it against the user state machine.
+func (a *Auditor) process(r Record, obs *[]witness.Observation) {
+	a.lockGate()
+	dead := a.failed != nil
+	a.unlockGate()
+	if dead {
+		return // keep draining so blocked submitters unblock
+	}
+	if r.seal {
+		a.publishReport(Report{Seal: true, Report: a.user.SyncReport()})
+		return
+	}
+	var g uint64
+	switch {
+	case r.CrossResp != nil:
+		g = r.CrossResp.GCtr
+	case a.forest:
+		g = r.Resp.GCtr
+	default:
+		g = r.Resp.Ctr + 1
+	}
+	// First record past a boundary: snapshot BEFORE absorbing it, so
+	// the registers cover exactly the counter prefix each boundary
+	// names. A client that skipped whole epochs emits one (identical)
+	// snapshot per skipped boundary — it performed no operations there.
+	e := int64(a.epochOf(g))
+	for ep := a.emitted + 1; ep < e; ep++ {
+		a.publishReport(Report{Epoch: uint64(ep), Report: a.user.SyncReport()})
+	}
+	if e > a.emitted {
+		a.emitted = e - 1
+	}
+	var err error
+	if r.CrossResp != nil {
+		err = a.user.VerifyResponseForest(r.Cross, r.CrossResp)
+	} else {
+		err = a.user.VerifyResponse(r.Op, r.Resp)
+	}
+	if err != nil {
+		a.fail(&EpochAuditFailure{Epoch: uint64(e), Ctr: g, Cause: err})
+		return
+	}
+	ctr, root := a.user.VerifiedRoot()
+	*obs = append(*obs, witness.Observation{Ctr: ctr, Root: root})
+}
+
+// publishReport broadcasts one of this client's own reports.
+func (a *Auditor) publishReport(r Report) {
+	if err := a.publish(r); err != nil {
+		a.fail(fmt.Errorf("audit: publish epoch report: %w", err))
+	}
+}
+
+// SubmitReport feeds one peer report (this client's own loopback
+// included) into the epoch assembly. Reports are idempotent — the
+// first snapshot per (epoch, user) wins, so hub replays after a
+// reconnect cannot corrupt an epoch. Called from the driver's receive
+// goroutine.
+func (a *Auditor) SubmitReport(r Report) {
+	a.lockGate()
+	defer a.unlockGate()
+	from := r.Report.User
+	if r.Seal {
+		if _, ok := a.seals[from]; !ok {
+			a.seals[from] = r.Report
+		}
+	} else {
+		m := a.reports[r.Epoch]
+		if m == nil {
+			m = make(map[sig.UserID]core.SyncReportII, a.users)
+			a.reports[r.Epoch] = m
+		}
+		if _, ok := m[from]; !ok {
+			m[from] = r.Report
+		}
+	}
+	a.tryCompleteLocked()
+}
+
+// tryCompleteLocked completes epochs strictly in order: epoch e closes
+// once every user contributed a snapshot — its epoch-e report, or its
+// seal (FIFO hub order guarantees a seal arrives after all the epoch
+// reports that precede it, and a sealed user's final registers equal
+// its snapshot for every later epoch). When the whole population has
+// sealed, one final closure check covers the tail window.
+func (a *Auditor) tryCompleteLocked() {
+	for a.failed == nil {
+		if len(a.seals) >= a.users && !a.finalDone {
+			reports := make([]core.SyncReportII, 0, a.users)
+			for _, r := range a.seals {
+				reports = append(reports, r)
+			}
+			e := uint64(a.completed + 1)
+			if err := a.closureCheckLocked(reports); err != nil {
+				a.failLocked(&EpochAuditFailure{Epoch: e, Cause: err})
+				return
+			}
+			if err := a.witnessCheckLocked(e); err != nil {
+				a.failLocked(err)
+				return
+			}
+			a.finalDone = true
+			if a.maxEpoch > a.completed {
+				a.completed = a.maxEpoch
+			}
+			a.reports = make(map[uint64]map[sig.UserID]core.SyncReportII)
+			a.cond.Broadcast()
+			return
+		}
+		e := uint64(a.completed + 1)
+		m := a.reports[e]
+		reports := make([]core.SyncReportII, 0, a.users)
+		for _, r := range m {
+			reports = append(reports, r)
+		}
+		for id, r := range a.seals {
+			if _, ok := m[id]; !ok {
+				reports = append(reports, r)
+			}
+		}
+		if len(reports) < a.users {
+			return
+		}
+		if err := a.closureCheckLocked(reports); err != nil {
+			a.failLocked(&EpochAuditFailure{Epoch: e, Cause: err})
+			return
+		}
+		if err := a.witnessCheckLocked(e); err != nil {
+			a.failLocked(err)
+			return
+		}
+		a.completed = int64(e)
+		delete(a.reports, e)
+		a.cond.Broadcast()
+	}
+}
+
+// closureCheckLocked runs the Lemma 4.1 closure check over one
+// assembled snapshot vector.
+func (a *Auditor) closureCheckLocked(reports []core.SyncReportII) error {
+	if a.forest {
+		s, err := core.CheckSyncForest(a.geneses, reports)
+		if err != nil {
+			return core.Detect(core.ProtocolViolation, a.id, a.audited, err)
+		}
+		if s >= 0 {
+			return core.Detect(core.SyncMismatch, a.id, a.audited,
+				fmt.Errorf("no last register closes the state chain of shard %d", s))
+		}
+		return nil
+	}
+	if core.CheckSyncII(a.initialState, reports) < 0 {
+		return core.Detect(core.SyncMismatch, a.id, a.audited,
+			errors.New("no last register closes the state chain"))
+	}
+	return nil
+}
+
+// witnessCheckLocked runs the per-epoch witness quorum cross-check.
+// No quorum is availability loss (skip, count); divergence quarantines
+// the convicted endpoint and is terminal.
+func (a *Auditor) witnessCheckLocked(epoch uint64) error {
+	if a.check == nil {
+		return nil
+	}
+	err := a.check.Verify()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, witness.ErrNoQuorum):
+		a.noQuorum++
+		return nil
+	default:
+		if a.quarantine != nil {
+			a.quarantine()
+		}
+		return &EpochAuditFailure{
+			Epoch: epoch,
+			Cause: core.Detect(core.WitnessDivergence, a.id, a.audited, err),
+		}
+	}
+}
+
+// fail records the first terminal failure and wakes every waiter.
+func (a *Auditor) fail(err error) {
+	a.lockGate()
+	defer a.unlockGate()
+	a.failLocked(err)
+}
+
+func (a *Auditor) failLocked(err error) {
+	if a.failed == nil {
+		a.failed = err
+		a.cond.Broadcast()
+	}
+}

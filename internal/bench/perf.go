@@ -217,9 +217,11 @@ func genTrace(users, ops int, seed int64) *workload.Trace {
 // under concurrent TCP clients, E14 measures availability and recovery
 // under fault injection, E15 measures witness replication: failover by
 // promotion and fork conviction by gossip, E16 measures the Merkle
-// forest's throughput scaling with client count.
+// forest's throughput scaling with client count, E17 measures the
+// epoch-batched async audit: verified throughput off the hot path
+// with detection within one epoch.
 func All() []*Table {
-	return []*Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14(), E15(), E16()}
+	return []*Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14(), E15(), E16(), E17()}
 }
 
 // ByID returns one experiment's runner.
@@ -228,7 +230,7 @@ func ByID(id string) (func() *Table, bool) {
 		"E1": E1, "E2": E2, "E3": E3, "E4": E4,
 		"E5": E5, "E6": E6, "E7": E7, "E8": E8,
 		"E9": E9, "E10": E10, "E11": E11, "E12": E12,
-		"E13": E13, "E14": E14, "E15": E15, "E16": E16,
+		"E13": E13, "E14": E14, "E15": E15, "E16": E16, "E17": E17,
 	}
 	f, ok := m[id]
 	return f, ok

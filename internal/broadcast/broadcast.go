@@ -190,17 +190,35 @@ type HubServer struct {
 	wg      sync.WaitGroup
 }
 
-// hubConnBuf is the per-connection outbound queue. A resumable client
-// this far behind is severed and recovers via log replay on its next
-// connection, so depth only trades memory against reconnect churn.
+// hubConnBuf is the per-connection outbound queue for LIVE fan-out. A
+// client this far behind the live stream is severed; a resumable one
+// recovers via log replay on its next connection, so depth only trades
+// memory against reconnect churn. Replay itself never flows through
+// this queue — the writer streams it straight from the log (see the
+// writer loop in acceptLoop), so a catch-up of any size is
+// flow-controlled by TCP instead of racing a fixed buffer.
 const hubConnBuf = 4096
 
 // hubConn is one connected participant. The writer goroutine drains
 // out so a slow or faulty connection never blocks the hub's fan-out.
+//
+// A connection is in one of two delivery modes, tracked under
+// HubServer.mu. Live (the default): log entries are enqueued on out as
+// they are published. Replaying (entered at hubHello): the conn is
+// excluded from live fan-out and the writer streams log entries from
+// cursor, at the pace the client's TCP connection accepts them; when
+// the cursor catches the log tail the conn atomically rejoins live
+// fan-out. Enqueue-side replay (the old design) raced the writer for
+// queue slots while holding the hub lock, so a client whose backlog
+// exceeded the queue was severed before its writer ever ran — a
+// zero-progress reconnect storm under fan-out bursts.
 type hubConn struct {
 	conn      net.Conn
 	out       chan any
-	resumable bool // upgraded by hubHello; set under HubServer.mu
+	kick      chan struct{} // wakes the writer when replay is scheduled
+	resumable bool          // upgraded by hubHello; set under HubServer.mu
+	replaying bool          // excluded from live fan-out; writer owns catch-up
+	cursor    uint64        // next log Idx the writer replays (1-based)
 }
 
 // ListenHub starts a TCP hub on addr.
@@ -229,7 +247,7 @@ func (h *HubServer) acceptLoop() {
 		if err != nil {
 			return
 		}
-		hc := &hubConn{conn: conn, out: make(chan any, hubConnBuf)}
+		hc := &hubConn{conn: conn, out: make(chan any, hubConnBuf), kick: make(chan struct{}, 1)}
 		h.mu.Lock()
 		if h.closed {
 			h.mu.Unlock()
@@ -242,22 +260,66 @@ func (h *HubServer) acceptLoop() {
 		h.wg.Add(1)
 		go func() {
 			defer h.wg.Done()
-			for msg := range hc.out {
-				if err := wire.Write(hc.conn, msg); err != nil {
-					h.drop(hc)
-					// Keep draining so fan-out enqueues never block on a
-					// dead writer; drop closed out, so the range ends.
+			// One persistent gob stream per direction: type descriptors
+			// cross the wire once per connection and every later message
+			// is a cheap value walk. With self-contained frames the
+			// receivers paid a full decoder-engine compilation per
+			// message — multiplied by fan-out width, that codec cost
+			// (not the network) was the sync barrier's bottleneck at
+			// large populations.
+			enc := wire.NewEncoder(hc.conn)
+			for {
+				// Replay backlog first: stream log entries directly, one
+				// write at a time, so catch-up is paced by the client's
+				// TCP connection rather than the bounded live queue.
+				for {
+					h.mu.Lock()
+					if !hc.replaying {
+						h.mu.Unlock()
+						break
+					}
+					if hc.cursor > uint64(len(h.log)) {
+						// Caught up. Flip to live while still holding mu so
+						// no publication can slip between the check and the
+						// handoff — delivery stays gapless and ordered.
+						hc.replaying = false
+						h.mu.Unlock()
+						break
+					}
+					e := h.log[hc.cursor-1]
+					hc.cursor++
+					h.mu.Unlock()
+					if err := enc.Encode(e); err != nil {
+						h.drop(hc)
+						return
+					}
+				}
+				select {
+				case msg, ok := <-hc.out:
+					if !ok {
+						hc.conn.Close()
+						return
+					}
+					if err := enc.Encode(msg); err != nil {
+						h.drop(hc)
+						// Drain nothing further: enqueues check conns
+						// membership under mu, so a dropped conn stops
+						// receiving frames and out is left to the GC.
+						return
+					}
+				case <-hc.kick:
+					// A hello scheduled a replay; loop back to stream it.
 				}
 			}
-			hc.conn.Close()
 		}()
 
 		h.wg.Add(1)
 		go func() {
 			defer h.wg.Done()
 			defer h.drop(hc)
+			dec := wire.NewDecoder(conn)
 			for {
-				msg, err := wire.Read(conn)
+				msg, err := dec.Decode()
 				if err != nil {
 					return
 				}
@@ -275,8 +337,11 @@ func (h *HubServer) acceptLoop() {
 }
 
 // upgrade marks hc resumable, acks the session's publication watermark
-// and replays the log past the client's last-delivered index. Under
-// mu, so replay and subsequent fan-outs enqueue in log order.
+// and schedules a replay of the log past the client's last-delivered
+// index. The replay itself is streamed by the connection's writer
+// goroutine (see acceptLoop): queueing it here, under mu, raced the
+// writer for bounded queue slots and severed any client whose backlog
+// exceeded the queue — before a single replayed byte reached it.
 func (h *HubServer) upgrade(hc *hubConn, hello *hubHello) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -285,12 +350,15 @@ func (h *HubServer) upgrade(hc *hubConn, hello *hubHello) {
 	}
 	hc.resumable = true
 	if hello.SID != 0 {
-		h.enqueueFrameLocked(hc, &hubAck{LastPub: h.lastPub[hello.SID]})
-	}
-	for _, e := range h.log {
-		if e.Idx > hello.Last {
-			h.enqueueLocked(hc, e)
+		if !h.enqueueFrameLocked(hc, &hubAck{LastPub: h.lastPub[hello.SID]}) {
+			return
 		}
+	}
+	hc.replaying = true
+	hc.cursor = hello.Last + 1
+	select {
+	case hc.kick <- struct{}{}:
+	default:
 	}
 }
 
@@ -341,31 +409,44 @@ func (h *HubServer) publishLocked(sid, pubSeq uint64, msg Message) {
 	e := &hubSeq{Idx: uint64(len(h.log)) + 1, SID: sid, PubSeq: pubSeq, Msg: msg}
 	h.log = append(h.log, e)
 	for hc := range h.conns {
+		if hc.replaying {
+			// The conn's writer is streaming the log and will reach this
+			// entry through its cursor; enqueueing it too would deliver
+			// it out of order ahead of the backlog.
+			continue
+		}
 		h.enqueueLocked(hc, e)
 	}
 }
 
 // enqueueLocked queues e for hc in the connection's wire format:
 // resumable clients get the indexed entry, legacy clients the bare
-// message.
-func (h *HubServer) enqueueLocked(hc *hubConn, e *hubSeq) {
+// message. Reports whether the connection survived.
+func (h *HubServer) enqueueLocked(hc *hubConn, e *hubSeq) bool {
 	var frame any = e
 	if !hc.resumable {
 		frame = &e.Msg
 	}
-	h.enqueueFrameLocked(hc, frame)
+	return h.enqueueFrameLocked(hc, frame)
 }
 
-// enqueueFrameLocked queues one raw frame. A full queue severs the
-// connection — a resumable client recovers by replay, a legacy one was
-// lost either way.
-func (h *HubServer) enqueueFrameLocked(hc *hubConn, frame any) {
+// enqueueFrameLocked queues one raw frame, reporting whether the
+// connection survived. A full queue severs the connection — a
+// resumable client recovers by replay, a legacy one was lost either
+// way. Callers looping over multiple frames must stop on severance:
+// the outbound channel is closed and another send would panic.
+func (h *HubServer) enqueueFrameLocked(hc *hubConn, frame any) bool {
+	if _, ok := h.conns[hc]; !ok {
+		return false
+	}
 	select {
 	case hc.out <- frame:
+		return true
 	default:
 		delete(h.conns, hc)
 		close(hc.out)
 		hc.conn.Close()
+		return false
 	}
 }
 
@@ -398,7 +479,7 @@ func DialHub(addr string) (Channel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("broadcast: dial %s: %w", addr, err)
 	}
-	c := &tcpChannel{conn: conn, ch: make(chan Message, chanBuf)}
+	c := &tcpChannel{conn: conn, enc: wire.NewEncoder(conn), ch: make(chan Message, chanBuf)}
 	go c.readLoop()
 	return c, nil
 }
@@ -408,13 +489,15 @@ type tcpChannel struct {
 	ch   chan Message
 
 	mu     sync.Mutex // guards writes and close
+	enc    *wire.Encoder
 	closed bool
 }
 
 func (c *tcpChannel) readLoop() {
 	defer close(c.ch)
+	dec := wire.NewDecoder(c.conn)
 	for {
-		msg, err := wire.Read(c.conn)
+		msg, err := dec.Decode()
 		if err != nil {
 			return
 		}
@@ -436,7 +519,7 @@ func (c *tcpChannel) Publish(msg Message) error {
 	if c.closed {
 		return ErrClosed
 	}
-	return wire.Write(c.conn, &msg)
+	return c.enc.Encode(&msg)
 }
 
 func (c *tcpChannel) Recv() <-chan Message { return c.ch }

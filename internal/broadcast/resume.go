@@ -84,11 +84,12 @@ type resumeChannel struct {
 	reconnects uint64
 }
 
-// send writes one frame under the write lock.
-func (c *resumeChannel) send(conn net.Conn, msg any) error {
+// send writes one frame onto the connection's persistent gob stream
+// under the write lock.
+func (c *resumeChannel) send(enc *wire.Encoder, msg any) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return wire.Write(conn, msg)
+	return enc.Encode(msg)
 }
 
 // Reconnects reports how many times the channel has had to redial.
@@ -131,11 +132,15 @@ func (c *resumeChannel) run() {
 		last := c.lastIdx
 		c.mu.Unlock()
 
+		// One persistent gob stream per direction (the hub mirrors
+		// this): descriptors cross once, later frames are cheap.
+		enc := wire.NewEncoder(conn)
+
 		// The hello exchange runs under the handshake deadline on both
 		// directions; a hub that accepted but never engages costs one
 		// timeout, not a goroutine forever.
 		_ = conn.SetWriteDeadline(time.Now().Add(HandshakeTimeout))
-		err = c.send(conn, &hubHello{SID: c.sid, Last: last})
+		err = c.send(enc, &hubHello{SID: c.sid, Last: last})
 		if err == nil {
 			err = conn.SetWriteDeadline(time.Time{})
 		}
@@ -166,7 +171,7 @@ func (c *resumeChannel) run() {
 		c.mu.Lock()
 		c.ackReady = ackReady
 		c.mu.Unlock()
-		go c.pump(conn, ackReady)
+		go c.pump(conn, enc, ackReady)
 		err = c.readLoop(conn)
 		c.mu.Lock()
 		c.conn = nil
@@ -192,7 +197,7 @@ func (c *resumeChannel) kickPump() {
 // more, preserving per-publisher FIFO. It exits when the connection is
 // replaced or the channel closes. Re-sending an already-logged
 // publication is harmless (the hub deduplicates on PubSeq).
-func (c *resumeChannel) pump(conn net.Conn, ackReady chan struct{}) {
+func (c *resumeChannel) pump(conn net.Conn, enc *wire.Encoder, ackReady chan struct{}) {
 	// Wait for the hub's hello-ack (which prunes already-logged
 	// publications) before the first send.
 	for waiting := true; waiting; {
@@ -243,7 +248,7 @@ func (c *resumeChannel) pump(conn net.Conn, ackReady chan struct{}) {
 			}
 			continue
 		}
-		if err := c.send(conn, p); err != nil {
+		if err := c.send(enc, p); err != nil {
 			return
 		}
 		lastSent = p.PubSeq
@@ -259,9 +264,10 @@ var errChannelClosed = fmt.Errorf("broadcast: channel closed")
 // message; backpressure is the consumer's problem, exactly as with the
 // in-process hub's deep buffer.
 func (c *resumeChannel) readLoop(conn net.Conn) error {
+	dec := wire.NewDecoder(conn)
 	handshake := true
 	for {
-		msg, err := wire.Read(conn)
+		msg, err := dec.Decode()
 		if err != nil {
 			return err
 		}
@@ -299,6 +305,17 @@ func (c *resumeChannel) readLoop(conn net.Conn) error {
 		if e.Idx <= c.lastIdx {
 			c.mu.Unlock()
 			continue // replayed entry we already delivered
+		}
+		if e.Idx != c.lastIdx+1 {
+			// The hub's log is gapless and per-connection delivery is
+			// ordered, so a skip means this connection is broken (or the
+			// hub reordered — either way, frames are missing). Accepting
+			// it would advance lastIdx past entries we never saw and the
+			// dedupe above would then drop them forever when they do
+			// arrive. Tear the connection down instead: the redial's
+			// hello carries lastIdx and the hub replays the gap.
+			c.mu.Unlock()
+			return fmt.Errorf("broadcast: hub log gap: got idx %d, want %d", e.Idx, c.lastIdx+1)
 		}
 		c.lastIdx = e.Idx
 		c.mu.Unlock()

@@ -1,0 +1,82 @@
+package broadcast
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHubResumeFanoutStress drives enough concurrent publishers at a
+// TCP hub that per-connection outbound queues overflow and the hub
+// severs subscribers mid-run. Resumable members must still observe
+// every message exactly once: severance is supposed to cost a replay,
+// never a gap.
+func TestHubResumeFanoutStress(t *testing.T) {
+	const members = 64
+	const perMember = 40
+
+	hub, err := ListenHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	chans := make([]Channel, members)
+	for i := range chans {
+		chans[i] = DialHubResume(hub.Addr())
+		defer chans[i].Close()
+	}
+
+	var wg sync.WaitGroup
+	got := make([]map[string]bool, members)
+	for i := range chans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = make(map[string]bool, members*perMember)
+			deadline := time.After(60 * time.Second)
+			for len(got[i]) < members*perMember {
+				select {
+				case m, ok := <-chans[i].Recv():
+					if !ok {
+						t.Errorf("member %d: channel closed after %d msgs", i, len(got[i]))
+						return
+					}
+					s := m.Payload.(string)
+					if got[i][s] {
+						t.Errorf("member %d: duplicate %q", i, s)
+						return
+					}
+					got[i][s] = true
+					// A slow consumer backs up its connection until the
+					// hub severs it — the path under test.
+					if i%4 == 0 && len(got[i])%64 == 0 {
+						time.Sleep(2 * time.Millisecond)
+					}
+				case <-deadline:
+					t.Errorf("member %d: stalled at %d/%d msgs", i, len(got[i]), members*perMember)
+					return
+				}
+			}
+		}(i)
+	}
+	for i := range chans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perMember; j++ {
+				if err := chans[i].Publish(Message{From: 1, Payload: fmt.Sprintf("m-%d-%d", i, j)}); err != nil {
+					t.Errorf("member %d publish %d: %v", i, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var rc uint64
+	for _, c := range chans {
+		rc += c.(*resumeChannel).Reconnects()
+	}
+	t.Logf("total reconnects across %d members: %d", members, rc)
+}

@@ -271,54 +271,55 @@ func (u *User) checkHeads(heads []vdb.ShardHead) error {
 	return nil
 }
 
-// handleForestResponse is HandleResponse's forest path: the VO replay
+// verifyForestResponse is VerifyResponse's forest path: the VO replay
 // and register fold of Protocol II, scoped to the shard the client
 // itself routes the operation to, plus head-vector consistency checks
-// that bind the response into the global order.
-func (u *User) handleForestResponse(op vdb.Op, resp *core.OpResponseII) (any, error) {
+// that bind the response into the global order. The answer is judged
+// (against the replay) but not decoded; HandleResponse decodes on top.
+func (u *User) verifyForestResponse(op vdb.Op, resp *core.OpResponseII) error {
 	if resp == nil || resp.VO == nil {
-		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, errors.New("missing response or VO"))
+		return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, errors.New("missing response or VO"))
 	}
 	n := len(u.fshards)
 	if len(resp.Heads) != n {
-		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+		return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
 			fmt.Errorf("head vector has %d shards, want %d", len(resp.Heads), n))
 	}
 	// The client routes the op itself — the server has no say in which
 	// verification domain an operation belongs to.
 	sid, err := vdb.RouteOp(op, n)
 	if err != nil || sid != int(resp.Shard) {
-		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+		return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
 			fmt.Errorf("server ran op on shard %d, client routes it to shard %d (%v)", resp.Shard, sid, err))
 	}
 	// Pending-leg and head-floor checks first (see checkHeads).
 	if err := u.checkHeads(resp.Heads); err != nil {
-		return nil, err
+		return err
 	}
 	var sum uint64
 	for _, h := range resp.Heads {
 		sum += h.Ctr
 	}
 	if sum != resp.GCtr {
-		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+		return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
 			fmt.Errorf("global counter %d is not the sum %d of the head counters", resp.GCtr, sum))
 	}
 	if resp.GCtr <= u.regs.GCtr {
-		return nil, core.Detect(core.CounterReplay, u.id, u.regs.Ops,
+		return core.Detect(core.CounterReplay, u.id, u.regs.Ops,
 			fmt.Errorf("server presented gctr %d after gctr %d", resp.GCtr, u.regs.GCtr))
 	}
 	fs := &u.fshards[sid]
 	if resp.Ctr < fs.regs.LastCtr {
-		return nil, core.Detect(core.CounterReplay, u.id, u.regs.Ops,
+		return core.Detect(core.CounterReplay, u.id, u.regs.Ops,
 			fmt.Errorf("server presented shard %d ctr %d after ctr %d", sid, resp.Ctr, fs.regs.LastCtr))
 	}
 	oldRoot, newRoot, err := vdb.VerifyDerive(op, resp.Answer, resp.VO)
 	if err != nil {
-		return nil, core.Detect(classify(err), u.id, u.regs.Ops, err)
+		return core.Detect(classify(err), u.id, u.regs.Ops, err)
 	}
 	// The response's own operation must be the shard's published head.
 	if h := resp.Heads[sid]; h.Ctr != resp.Ctr+1 || h.Root != newRoot {
-		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+		return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
 			fmt.Errorf("shard %d head (ctr %d) contradicts the operation it ships with (ctr %d)", sid, h.Ctr, resp.Ctr+1))
 	}
 	oldState := core.ShardStateHash(resp.Shard, oldRoot, resp.Ctr, resp.Last, resp.LastTx)
@@ -328,11 +329,7 @@ func (u *User) handleForestResponse(op vdb.Op, resp *core.OpResponseII) (any, er
 	u.regs.Ops++
 	u.lastCtr, u.lastRoot = resp.GCtr, vdb.FoldHeads(resp.Heads)
 	u.sinceSync++
-	ans, err := vdb.DecodeAnswer(resp.Answer)
-	if err != nil {
-		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, err)
-	}
-	return ans, nil
+	return nil
 }
 
 // HandleResponseForest verifies the server's reply to a cross-shard
@@ -341,20 +338,38 @@ func (u *User) handleForestResponse(op vdb.Op, resp *core.OpResponseII) (any, er
 // leg's new tagged state, and each leg is recorded as pending until a
 // later head vector confirms it. Returns the decoded vdb.CrossAnswer.
 func (u *User) HandleResponseForest(op *vdb.CrossOp, resp *core.OpResponseForest) (any, error) {
+	if err := u.VerifyResponseForest(op, resp); err != nil {
+		return nil, err
+	}
+	answers := make([]any, len(resp.Legs))
+	for i, leg := range resp.Legs {
+		ans, err := u.decodeAnswer(leg.Answer)
+		if err != nil {
+			return nil, err
+		}
+		answers[i] = ans
+	}
+	return vdb.CrossAnswer{Answers: answers}, nil
+}
+
+// VerifyResponseForest is HandleResponseForest without decoding the
+// leg answers — the epoch auditor's cross-transaction path, mirroring
+// VerifyResponse.
+func (u *User) VerifyResponseForest(op *vdb.CrossOp, resp *core.OpResponseForest) error {
 	if u.fshards == nil {
-		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+		return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
 			errors.New("cross-shard response in single-tree mode"))
 	}
 	if resp == nil || len(resp.Legs) == 0 {
-		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, errors.New("missing response or legs"))
+		return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, errors.New("missing response or legs"))
 	}
 	n := len(u.fshards)
 	if len(resp.Heads) != n {
-		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+		return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
 			fmt.Errorf("head vector has %d shards, want %d", len(resp.Heads), n))
 	}
 	if len(resp.Legs) != len(op.Legs) {
-		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+		return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
 			fmt.Errorf("response has %d legs, transaction has %d", len(resp.Legs), len(op.Legs)))
 	}
 	// The client routes every leg itself; the server's claimed shards
@@ -363,34 +378,34 @@ func (u *User) HandleResponseForest(op *vdb.CrossOp, resp *core.OpResponseForest
 	for i, legOp := range op.Legs {
 		sid, err := vdb.RouteOp(legOp, n)
 		if err != nil || sid != int(resp.Legs[i].Shard) {
-			return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+			return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
 				fmt.Errorf("server ran leg %d on shard %d, client routes it to shard %d (%v)", i, resp.Legs[i].Shard, sid, err))
 		}
 		if seen[sid] {
-			return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+			return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
 				fmt.Errorf("cross legs share shard %d", sid))
 		}
 		seen[sid] = true
 		if resp.Legs[i].VO == nil {
-			return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+			return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
 				fmt.Errorf("leg %d has no VO", i))
 		}
 	}
 	// Pending-leg and head-floor checks against prior transactions
 	// first, then the global counter checks.
 	if err := u.checkHeads(resp.Heads); err != nil {
-		return nil, err
+		return err
 	}
 	var sum uint64
 	for _, h := range resp.Heads {
 		sum += h.Ctr
 	}
 	if sum != resp.GCtr {
-		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
+		return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops,
 			fmt.Errorf("global counter %d is not the sum %d of the head counters", resp.GCtr, sum))
 	}
 	if resp.GCtr < uint64(len(resp.Legs)) || resp.GCtr-uint64(len(resp.Legs)) < u.regs.GCtr {
-		return nil, core.Detect(core.CounterReplay, u.id, u.regs.Ops,
+		return core.Detect(core.CounterReplay, u.id, u.regs.Ops,
 			fmt.Errorf("server presented gctr %d (%d legs) after gctr %d", resp.GCtr, len(resp.Legs), u.regs.GCtr))
 	}
 	// Both sides derive the transaction digest from the response alone.
@@ -400,39 +415,33 @@ func (u *User) HandleResponseForest(op *vdb.CrossOp, resp *core.OpResponseForest
 	}
 	txd := core.CrossTxDigest(u.id, resp.GCtr-uint64(len(resp.Legs)), ref)
 
-	answers := make([]any, len(resp.Legs))
 	for i, leg := range resp.Legs {
 		fs := &u.fshards[leg.Shard]
 		if leg.Ctr < fs.regs.LastCtr {
-			return nil, core.Detect(core.CounterReplay, u.id, u.regs.Ops,
+			return core.Detect(core.CounterReplay, u.id, u.regs.Ops,
 				fmt.Errorf("server presented shard %d ctr %d after ctr %d", leg.Shard, leg.Ctr, fs.regs.LastCtr))
 		}
 		oldRoot, newRoot, err := vdb.VerifyDerive(op.Legs[i], leg.Answer, leg.VO)
 		if err != nil {
-			return nil, core.Detect(classify(err), u.id, u.regs.Ops, fmt.Errorf("leg %d: %w", i, err))
+			return core.Detect(classify(err), u.id, u.regs.Ops, fmt.Errorf("leg %d: %w", i, err))
 		}
 		// The transaction's own head vector must include this leg — a
 		// head that omits a leg of the very transaction it ships with is
 		// the tear, caught immediately.
 		if h := resp.Heads[leg.Shard]; h.Ctr != leg.Ctr+1 || h.Root != newRoot {
-			return nil, core.Detect(core.TornTransaction, u.id, u.regs.Ops,
+			return core.Detect(core.TornTransaction, u.id, u.regs.Ops,
 				fmt.Errorf("shard %d head excludes leg %d of the transaction it ships with", leg.Shard, i))
 		}
 		oldState := core.ShardStateHash(leg.Shard, oldRoot, leg.Ctr, leg.Last, leg.LastTx)
 		newState := core.ShardStateHash(leg.Shard, newRoot, leg.Ctr+1, u.id, txd)
 		fs.regs.Absorb(oldState, newState, leg.Ctr+1)
 		fs.pending = &pendingLeg{ctr: leg.Ctr + 1, root: newRoot}
-		ans, err := vdb.DecodeAnswer(leg.Answer)
-		if err != nil {
-			return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, err)
-		}
-		answers[i] = ans
 	}
 	u.regs.GCtr = resp.GCtr
 	u.regs.Ops++
 	u.lastCtr, u.lastRoot = resp.GCtr, vdb.FoldHeads(resp.Heads)
 	u.sinceSync++
-	return vdb.CrossAnswer{Answers: answers}, nil
+	return nil
 }
 
 // completeForestSync is CompleteSync's forest path: every shard's

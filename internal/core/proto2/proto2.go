@@ -25,6 +25,7 @@ import (
 	"trustedcvs/internal/core"
 	"trustedcvs/internal/digest"
 	"trustedcvs/internal/forensics"
+	"trustedcvs/internal/merkle"
 	"trustedcvs/internal/sig"
 	"trustedcvs/internal/vdb"
 )
@@ -157,6 +158,47 @@ type User struct {
 	geneses  []digest.Digest
 	fshards  []forestShard
 	headCtrs []uint64
+
+	// chain is the audit batcher's shared-path cache (nil unless
+	// EnableReplayChain was called). See replayChain.
+	chain *replayChain
+}
+
+// replayChain caches the post-state tree of this user's most recently
+// verified operation. When the next response claims to extend exactly
+// that state (same counter, this user as the last tag), the operation
+// is replayed directly on the cached tree instead of unpacking and
+// re-hashing a fresh VO — the audit batch's shared path recomputation.
+// The cached tree is pruned to the coverage of the VO that produced
+// it, so a replay that reaches outside falls back to the full VO path
+// (a miss, never an error). Detection is unweakened either way: the
+// chained transition is derived from the user's own verified state,
+// and any server lie about adjacency surfaces at the epoch closure
+// check exactly as a forged VO would.
+type replayChain struct {
+	tree   *merkle.Tree
+	hits   uint64
+	misses uint64
+}
+
+// EnableReplayChain arms the shared-path replay cache (single-tree
+// users only; a forest user's cache would be per shard and the win is
+// negligible under interleaved shard traffic — it falls back to full
+// VO verification). Call before the first response is handled.
+func (u *User) EnableReplayChain() {
+	if u.fshards == nil {
+		u.chain = &replayChain{}
+	}
+}
+
+// ChainStats reports how many responses were verified on the chained
+// fast path vs how many fell back to full VO verification. Both zero
+// unless EnableReplayChain was called.
+func (u *User) ChainStats() (hits, misses uint64) {
+	if u.chain == nil {
+		return 0, 0
+	}
+	return u.chain.hits, u.chain.misses
 }
 
 // EnableJournal attaches a bounded transition journal of the given
@@ -209,32 +251,79 @@ func (u *User) Request(op vdb.Op) *core.OpRequest {
 // transition into the registers, and returns the decoded answer. On
 // deviation it returns a *core.DetectionError.
 func (u *User) HandleResponse(op vdb.Op, resp *core.OpResponseII) (any, error) {
+	if err := u.VerifyResponse(op, resp); err != nil {
+		return nil, err
+	}
+	return u.decodeAnswer(resp.Answer)
+}
+
+// VerifyResponse is HandleResponse without the answer decode: it
+// verifies the reply and folds the transition into the registers, but
+// never materializes the answer value. The epoch auditor uses it —
+// the answer was already decoded optimistically on the hot path, so
+// re-decoding it at audit time would be pure waste.
+func (u *User) VerifyResponse(op vdb.Op, resp *core.OpResponseII) error {
 	if u.fshards != nil {
-		return u.handleForestResponse(op, resp)
+		return u.verifyForestResponse(op, resp)
 	}
 	if resp == nil || resp.VO == nil {
-		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, errors.New("missing response or VO"))
+		return core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, errors.New("missing response or VO"))
 	}
 	// Step 4 (with the strict inequality; see DESIGN.md errata): the
 	// server may never show this user a counter below one it has
 	// already seen — that is a replay.
 	if resp.Ctr < u.regs.GCtr {
-		return nil, core.Detect(core.CounterReplay, u.id, u.regs.Ops,
+		return core.Detect(core.CounterReplay, u.id, u.regs.Ops,
 			fmt.Errorf("server presented ctr %d after gctr %d", resp.Ctr, u.regs.GCtr))
 	}
-	oldRoot, newRoot, err := vdb.VerifyDerive(op, resp.Answer, resp.VO)
-	if err != nil {
-		return nil, core.Detect(classify(err), u.id, u.regs.Ops, err)
+	var (
+		oldRoot, newRoot digest.Digest
+		post             *merkle.Tree
+		chained          bool
+	)
+	// Shared-path fast path: the response claims to extend this user's
+	// own last verified state (same counter, this user as the last
+	// tag), so the pre-state is already in hand — replay on it and skip
+	// the VO entirely. Any replay failure (pruned path, answer
+	// mismatch) falls back to the full VO so the error class is always
+	// the one the full check assigns.
+	if c := u.chain; c != nil && c.tree != nil && resp.Ctr == u.lastCtr && resp.Last == u.id {
+		if nr, nt, err := vdb.ReplayOn(c.tree, op, resp.Answer); err == nil {
+			oldRoot, newRoot, post, chained = u.lastRoot, nr, nt, true
+			c.hits++
+		} else {
+			c.misses++
+		}
+	}
+	if !chained {
+		var err error
+		if u.chain != nil {
+			oldRoot, newRoot, post, err = vdb.VerifyDeriveTree(op, resp.Answer, resp.VO)
+		} else {
+			oldRoot, newRoot, err = vdb.VerifyDerive(op, resp.Answer, resp.VO)
+		}
+		if err != nil {
+			return core.Detect(classify(err), u.id, u.regs.Ops, err)
+		}
 	}
 	oldState := core.TaggedStateHash(oldRoot, resp.Ctr, resp.Last)
 	newState := core.TaggedStateHash(newRoot, resp.Ctr+1, u.id)
 	u.regs.Absorb(oldState, newState, resp.Ctr+1)
 	u.lastCtr, u.lastRoot = resp.Ctr+1, newRoot
+	if u.chain != nil {
+		u.chain.tree = post
+	}
 	if u.journal != nil {
 		u.journal.Record(resp.Ctr+1, oldState, newState)
 	}
 	u.sinceSync++
-	ans, err := vdb.DecodeAnswer(resp.Answer)
+	return nil
+}
+
+// decodeAnswer decodes claimed answer bytes, wrapping failures as
+// protocol violations.
+func (u *User) decodeAnswer(b []byte) (any, error) {
+	ans, err := vdb.DecodeAnswer(b)
 	if err != nil {
 		return nil, core.Detect(core.ProtocolViolation, u.id, u.regs.Ops, err)
 	}
@@ -243,6 +332,21 @@ func (u *User) HandleResponse(op vdb.Op, resp *core.OpResponseII) (any, error) {
 
 // NeedsSync reports whether this user must announce a sync-up.
 func (u *User) NeedsSync() bool { return u.sinceSync >= u.k }
+
+// InitialState returns the genesis tagged state h(M(D₀)‖0‖genesis) the
+// user's chain is rooted at (single-tree mode; Zero for forest users —
+// use Geneses). The epoch auditor evaluates closure checks against it
+// directly from register snapshots.
+func (u *User) InitialState() digest.Digest { return u.initialState }
+
+// Geneses returns a copy of the per-shard genesis states of a forest
+// user (nil for single-tree users — use InitialState).
+func (u *User) Geneses() []digest.Digest {
+	return append([]digest.Digest(nil), u.geneses...)
+}
+
+// Forest reports whether this user tracks a sharded forest.
+func (u *User) Forest() bool { return u.fshards != nil }
 
 // SyncReport is the user's broadcast contribution to a sync round. A
 // forest user reports one register pair per shard.

@@ -6,12 +6,23 @@
 // Client implements cvs.Doer and cvs.ContentTransfer, so a cvs.Client
 // on top of it is a fully verified CVS client over the network.
 //
-// Synchronization runs as a barrier: from the moment a client learns
-// of a sync round until it has evaluated all n reports, it starts no
-// new operations. Combined with the broadcast hub's FIFO total order,
-// this realizes the paper's "users do not start a new transaction
-// between the sync-up message and the broadcast", which is what makes
-// the collected register vector a consistent cut of the history.
+// Protocol II clients run in one of two audit modes:
+//
+// In the default synchronous mode, synchronization runs as a barrier:
+// from the moment a client learns of a sync round until it has
+// evaluated all n reports, it starts no new operations. Combined with
+// the broadcast hub's FIFO total order, this realizes the paper's
+// "users do not start a new transaction between the sync-up message
+// and the broadcast", which is what makes the collected register
+// vector a consistent cut of the history, and it detects a deviation
+// before the next operation starts.
+//
+// In epoch-audit mode (NewP2Epoch), Do returns as soon as the server
+// answers and all verification moves onto a background auditor that
+// closes one epoch of N global operations at a time — the consistent
+// cut comes from counter prefixes instead of a barrier, and detection
+// is guaranteed within one epoch. See the audit package for the bound
+// and its derivation.
 package driver
 
 import (
@@ -21,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"trustedcvs/internal/audit"
 	"trustedcvs/internal/backoff"
 	"trustedcvs/internal/broadcast"
 	"trustedcvs/internal/core"
@@ -81,6 +93,8 @@ type Client struct {
 
 	check    *witness.Check // nil: no witness cross-check
 	noQuorum uint64         // witness checks skipped for lack of quorum
+
+	aud *audit.Auditor // non-nil: epoch-audit mode (NewP2Epoch)
 
 	wg sync.WaitGroup
 }
@@ -146,22 +160,43 @@ func (c *Client) SetWitnessCheck(chk *witness.Check) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.check = chk
+	if c.aud != nil {
+		// Epoch-audit mode: the quorum check runs on the auditor, once
+		// per completed epoch, with the same quarantine-on-conviction
+		// behavior the sync barrier has.
+		c.aud.SetCheck(chk)
+		conn := c.conn
+		c.aud.SetQuarantine(func() {
+			if rc, ok := conn.(*transport.ResilientClient); ok {
+				rc.Quarantine(rc.EndpointName())
+			}
+		})
+	}
 }
 
 // NoQuorumSkips reports how many witness checks were skipped because
 // too few witnesses answered. Availability loss, not detection — E15
 // asserts this stays separate from the false-alarm count.
 func (c *Client) NoQuorumSkips() uint64 {
+	if c.aud != nil {
+		return c.aud.NoQuorumSkips()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.noQuorum
 }
 
-// Err returns the recorded detection error, if any.
+// Err returns the recorded detection error, if any. In epoch-audit
+// mode a failure the background auditor found is surfaced here too,
+// even before the next Do would trip over it.
 func (c *Client) Err() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.failed
+	failed := c.failed
+	c.mu.Unlock()
+	if failed == nil && c.aud != nil {
+		return c.aud.Err()
+	}
+	return failed
 }
 
 // Journal returns the underlying user's transition journal (nil unless
@@ -184,6 +219,11 @@ func (c *Client) Journal() *forensics.Journal {
 // Close shuts the client down (the broadcast channel and server
 // connection are closed).
 func (c *Client) Close() error {
+	// Stop the auditor before taking mu: its shutdown releases any Do
+	// blocked in admission or backpressure, which may hold mu.
+	if c.aud != nil {
+		c.aud.Stop()
+	}
 	c.mu.Lock()
 	c.closed = true
 	c.cond.Broadcast()
@@ -196,9 +236,32 @@ func (c *Client) Close() error {
 	return err
 }
 
-// Do implements cvs.Doer: it executes one fully verified operation,
-// blocking while a synchronization round is in flight.
+// Do implements cvs.Doer. In synchronous mode it executes one fully
+// verified operation, blocking while a synchronization round is in
+// flight. In epoch-audit mode it returns the optimistically decoded
+// answer as soon as the server replies, blocking only on the
+// admission gate (one epoch of pipelining, the detection bound) and
+// on audit-queue backpressure.
 func (c *Client) Do(op vdb.Op) (any, error) {
+	if c.aud != nil {
+		// Admission first, without mu: the gate is released by the
+		// auditor, never by this client's own lock holders.
+		if err := c.aud.WaitAdmissible(); err != nil {
+			if !errors.Is(err, audit.ErrClosed) {
+				c.mirrorAuditFailure(err)
+			}
+			return nil, err
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.failed != nil {
+			return nil, c.failed
+		}
+		if c.closed {
+			return nil, errors.New("driver: client closed")
+		}
+		return c.doEpochLocked(op)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for len(c.rounds) > 0 && c.failed == nil && !c.closed {
@@ -423,6 +486,13 @@ func (c *Client) recvLoop() {
 			c.onSyncRequest(roundKey{p.From, p.Round})
 		case *reportMsg:
 			c.onReport(p)
+		case *epochReportMsg:
+			// Straight to the auditor, never touching c.mu: epoch
+			// assembly must make progress while a Do holds the client
+			// lock across a server call.
+			if c.aud != nil {
+				c.aud.SubmitReport(p.Report)
+			}
 		}
 	}
 	// Channel closed: wake any waiter so Close can finish.
@@ -550,8 +620,12 @@ func (c *Client) recordFailure(err error) {
 
 // WaitIdle blocks until no synchronization round is in flight (or a
 // failure is recorded). Tests and examples use it to observe sync
-// outcomes deterministically.
+// outcomes deterministically. In epoch-audit mode there are no rounds;
+// idle means the audit queue has drained.
 func (c *Client) WaitIdle(timeout time.Duration) error {
+	if c.aud != nil {
+		return c.WaitAudited(timeout)
+	}
 	deadline := time.Now().Add(timeout)
 	poll := backoff.Poll(5 * time.Millisecond)
 	c.mu.Lock()

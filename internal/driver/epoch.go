@@ -1,0 +1,188 @@
+package driver
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"time"
+
+	"trustedcvs/internal/audit"
+	"trustedcvs/internal/broadcast"
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/core/proto2"
+	"trustedcvs/internal/server"
+	"trustedcvs/internal/transport"
+	"trustedcvs/internal/vdb"
+)
+
+// epochReportMsg carries one client's epoch-audit register snapshot
+// (or seal) over the broadcast channel. It rides the same FIFO hub as
+// the sync-mode traffic but never touches the client's round state:
+// the receive loop hands it straight to the auditor.
+type epochReportMsg struct {
+	Report audit.Report
+}
+
+func init() {
+	gob.Register(&epochReportMsg{})
+}
+
+// NewP2Epoch builds a Protocol II client in epoch-audit mode: Do
+// returns as soon as the server answers, and every verification
+// obligation — VO replay, register fold, the closure check, the
+// witness quorum check — runs on a background auditor that closes one
+// epoch of epochLen global operations at a time. Detection weakens
+// from "before the next operation" to "within one epoch"; see the
+// audit package for the exact bound. queue is the audit queue capacity
+// (0 = audit.DefaultQueue); when it fills, Do degrades to the audit
+// rate rather than dropping obligations.
+func NewP2Epoch(user *proto2.User, conn transport.Caller, bc broadcast.Channel, nUsers int, epochLen uint64, queue int) (*Client, error) {
+	c := newClient(server.P2, conn, bc, nUsers)
+	c.u2 = user
+	c.id = user.ID()
+	aud, err := audit.New(audit.Config{
+		User:  user,
+		Epoch: epochLen,
+		Users: nUsers,
+		Queue: queue,
+		Publish: func(r audit.Report) error {
+			return bc.Publish(broadcast.Message{From: c.id, Payload: &epochReportMsg{Report: r}})
+		},
+		// The replay chain only pays off on single-tree deployments;
+		// forest verification keeps per-shard state instead.
+		Chain: !user.Forest(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.aud = aud
+	c.start()
+	return c, nil
+}
+
+// Audit returns the client's background auditor (nil in synchronous
+// mode) for stats and fine-grained waits.
+func (c *Client) Audit() *audit.Auditor { return c.aud }
+
+// doEpochLocked is the epoch-mode hot path: issue the op, decode the
+// answer optimistically, and queue the verification obligation.
+// Everything slow — VO replay, hashing, the closure check — happens on
+// the auditor.
+func (c *Client) doEpochLocked(op vdb.Op) (any, error) {
+	raw, err := c.conn.Call(c.u2.Request(op))
+	if err != nil {
+		return nil, err
+	}
+	var (
+		rec audit.Record
+		ans any
+		g   uint64
+	)
+	var decErr error
+	if cross, ok := op.(*vdb.CrossOp); ok {
+		fresp, ok := raw.(*core.OpResponseForest)
+		if !ok {
+			// lctr 0: the user's op count is auditor-owned state in
+			// epoch mode and must not be read from the hot path.
+			err := core.Detect(core.ProtocolViolation, c.id, 0, fmt.Errorf("bad response type %T", raw))
+			c.recordFailure(err)
+			return nil, err
+		}
+		rec = audit.Record{Cross: cross, CrossResp: fresp}
+		g = fresp.GCtr
+		ans, decErr = decodeForestAnswer(fresp)
+	} else {
+		resp, ok := raw.(*core.OpResponseII)
+		if !ok {
+			err := core.Detect(core.ProtocolViolation, c.id, 0, fmt.Errorf("bad response type %T", raw))
+			c.recordFailure(err)
+			return nil, err
+		}
+		rec = audit.Record{Op: op, Resp: resp}
+		if c.u2.Forest() {
+			g = resp.GCtr
+		} else {
+			g = resp.Ctr + 1
+		}
+		ans, decErr = vdb.DecodeAnswer(resp.Answer)
+	}
+	if err := c.aud.Submit(rec); err != nil {
+		if !errors.Is(err, audit.ErrClosed) {
+			c.recordFailure(err)
+		}
+		return nil, err
+	}
+	c.aud.NoteEpoch(g)
+	if decErr != nil {
+		// The answer bytes are garbage. The obligation is already
+		// queued — the audit will convict the server over the same
+		// bytes — so surface a plain error without advancing anything.
+		return nil, fmt.Errorf("driver: optimistic answer decode: %w", decErr)
+	}
+	return ans, nil
+}
+
+// decodeForestAnswer optimistically decodes a cross-shard response's
+// per-leg answers, mirroring the shape HandleResponseForest returns.
+func decodeForestAnswer(fresp *core.OpResponseForest) (any, error) {
+	answers := make([]any, len(fresp.Legs))
+	for i := range fresp.Legs {
+		a, err := vdb.DecodeAnswer(fresp.Legs[i].Answer)
+		if err != nil {
+			return nil, fmt.Errorf("leg %d: %w", i, err)
+		}
+		answers[i] = a
+	}
+	return vdb.CrossAnswer{Answers: answers}, nil
+}
+
+// Seal publishes this client's final registers to every peer; once all
+// clients seal, the auditor closes the tail window with one final
+// closure check. A client that stops operating MUST seal: epoch
+// closure needs every user's boundary report, so a silent departure
+// stalls peers at admission within one epoch — the same liveness rule
+// a quiet user imposes on a sync-barrier round. No-op in synchronous
+// mode (every sync round is already a full barrier).
+func (c *Client) Seal() {
+	if c.aud != nil {
+		c.aud.Seal()
+	}
+}
+
+// WaitAudited blocks until every queued obligation has been verified
+// (epoch-audit mode; synchronous mode is trivially audited). It does
+// not wait for epoch closure — see WaitSealed.
+func (c *Client) WaitAudited(timeout time.Duration) error {
+	if c.aud == nil {
+		return c.Err()
+	}
+	if err := c.aud.WaitDrained(timeout); err != nil {
+		c.mirrorAuditFailure(err)
+		return err
+	}
+	return c.Err()
+}
+
+// WaitSealed blocks until the all-sealed final closure check has
+// passed (call Seal on every client first) or a failure surfaces.
+func (c *Client) WaitSealed(timeout time.Duration) error {
+	if c.aud == nil {
+		return c.Err()
+	}
+	if err := c.aud.WaitSealed(timeout); err != nil {
+		c.mirrorAuditFailure(err)
+		return err
+	}
+	return c.Err()
+}
+
+// mirrorAuditFailure pins an asynchronous audit failure into the
+// client's own failure slot so Err and the next Do observe it.
+func (c *Client) mirrorAuditFailure(err error) {
+	if errors.Is(err, audit.ErrClosed) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordFailure(err)
+}

@@ -1,0 +1,82 @@
+package driver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"trustedcvs/internal/broadcast"
+	"trustedcvs/internal/core/proto2"
+	"trustedcvs/internal/cvs"
+	"trustedcvs/internal/server"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/transport"
+	"trustedcvs/internal/vdb"
+)
+
+// TestSyncBarrier64TCPHub drives a full 64-client Protocol II sync
+// barrier over the real TCP transport and TCP broadcast hub — the
+// deployment shape E17's sync baseline measures. One barrier cycle at
+// this population is 64 rounds x 65 messages fanned out to 64
+// subscribers; the run only completes if the hub's delivery stays
+// gapless under that burst and the per-connection streaming codec
+// keeps the fan-out affordable. This regression pins both: the stall
+// mode was clients parked forever at 60-63/64 reports.
+func TestSyncBarrier64TCPHub(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-client barrier cycle is seconds of work; skip in -short")
+	}
+	const n, k = 64, 16
+	const ops = k + 1 // cross the sync threshold once per client
+	db := vdb.New(0)
+	// No idle timeout: clients legitimately park their server
+	// connection for the whole barrier wait.
+	srv, err := transport.ListenOpts("127.0.0.1:0", NewHandler(server.NewP2(db), cvs.NewStore()), transport.Options{IdleTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hub, err := broadcast.ListenHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		conn, err := transport.Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = NewP2(proto2.NewUser(sig.UserID(i), db.Root(), k), conn, broadcast.DialHubResume(hub.Addr()), n)
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < ops; j++ {
+				op := &vdb.WriteOp{Puts: []vdb.KV{{Key: fmt.Sprintf("k-%d-%d", id, j), Val: []byte("v")}}}
+				if _, err := clients[id].Do(op); err != nil {
+					errs[id] = fmt.Errorf("client %d op %d: %w", id, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("64-client barrier cycle completed in %s", time.Since(start))
+}

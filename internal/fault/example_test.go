@@ -1,0 +1,33 @@
+package fault_test
+
+import (
+	"fmt"
+
+	"trustedcvs/internal/fault"
+)
+
+// ExampleInjector shows the scripted face of the injector: exact
+// (index, kind) events over the shared I/O counter, so a failing
+// fault schedule replays identically run after run. The probabilistic
+// face (Config.Seed + per-kind probabilities) is deterministic the
+// same way: a (Seed, Config) pair fully determines the decision
+// stream.
+func ExampleInjector() {
+	inj := fault.NewInjector(fault.Config{
+		Script: []fault.Event{
+			{At: 2, Kind: fault.Reset},
+			{At: 4, Kind: fault.Truncate},
+		},
+	})
+	for i := 1; i <= 5; i++ {
+		fmt.Printf("io %d: %v\n", i, inj.Next().Kind)
+	}
+	fmt.Println("injected:", inj.Injected())
+	// Output:
+	// io 1: none
+	// io 2: reset
+	// io 3: none
+	// io 4: truncate
+	// io 5: none
+	// injected: 2
+}

@@ -21,6 +21,7 @@ func TestFixtureCorpus(t *testing.T) {
 		file string
 		line int
 	}{
+		{"lockscope", "internal/audit/queue.go", 25},           // ed25519.Verify in batch drain under Lock
 		{"errdrop", "internal/codec/drop.go", 19},              // ExprStmt discard
 		{"errdrop", "internal/codec/drop.go", 24},              // error assigned to _
 		{"errdrop", "internal/codec/drop.go", 30},              // error lost in defer

@@ -28,7 +28,11 @@ var passLockScope = &Pass{
 	Run:  runLockScope,
 }
 
-var lockscopeScope = []string{"internal/vdb", "internal/core", "internal/transport"}
+// internal/audit is in scope because the async auditor's whole value
+// is that verification (hashing, VO replay, signature checks) happens
+// off the hot path: one slow call slipped under the queue mutex makes
+// Submit block behind the drain and silently reverts E17's win.
+var lockscopeScope = []string{"internal/vdb", "internal/core", "internal/transport", "internal/audit"}
 
 // Mutex acquire/release method sets, by FullName.
 var (

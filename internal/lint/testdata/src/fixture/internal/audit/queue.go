@@ -1,0 +1,48 @@
+// Package audit exercises lockscope over the async auditor's queue
+// shape: batch verification belongs outside the queue mutex — one
+// slow call under it makes submitters block behind the drain.
+package audit
+
+import (
+	"crypto/ed25519"
+	"sync"
+)
+
+// Queue is a miniature of the real audit queue's locking shape.
+type Queue struct {
+	mu    sync.Mutex
+	batch [][]byte
+	pub   ed25519.PublicKey
+	bad   int
+}
+
+// DrainUnderLock verifies the batch inside the critical section — the
+// regression the pass guards against.
+func (q *Queue) DrainUnderLock(sig []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, m := range q.batch {
+		if !ed25519.Verify(q.pub, m, sig) {
+			q.bad++
+		}
+	}
+	q.batch = nil
+}
+
+// DrainOutsideLock snapshots the batch under the lock and verifies
+// after releasing it.
+func (q *Queue) DrainOutsideLock(sig []byte) {
+	q.mu.Lock()
+	batch := q.batch
+	q.batch = nil
+	q.mu.Unlock()
+	bad := 0
+	for _, m := range batch {
+		if !ed25519.Verify(q.pub, m, sig) {
+			bad++
+		}
+	}
+	q.mu.Lock()
+	q.bad += bad
+	q.mu.Unlock()
+}

@@ -541,22 +541,66 @@ func (db *DB) Fork() *DB {
 // client that instead tracks its own trusted root (single-user
 // setting) uses Verify.
 func VerifyDerive(op Op, claimedAns []byte, vo *merkle.VO) (oldRoot, newRoot digest.Digest, err error) {
+	oldRoot, newRoot, _, err = VerifyDeriveTree(op, claimedAns, vo)
+	return oldRoot, newRoot, err
+}
+
+// VerifyDeriveTree is VerifyDerive that additionally returns the
+// post-state tree the replay produced. The epoch auditor caches it so
+// a directly adjacent next operation by the same user can be replayed
+// on it (ReplayOn) without unpacking and re-hashing a fresh VO — the
+// "shared path recomputation" of the audit batch.
+func VerifyDeriveTree(op Op, claimedAns []byte, vo *merkle.VO) (oldRoot, newRoot digest.Digest, post *merkle.Tree, err error) {
 	if vo == nil {
-		return digest.Zero, digest.Zero, errors.New("vdb: missing verification object")
+		return digest.Zero, digest.Zero, nil, errors.New("vdb: missing verification object")
 	}
 	t, err := vo.Tree()
 	if err != nil {
-		return digest.Zero, digest.Zero, err
+		return digest.Zero, digest.Zero, nil, err
 	}
 	oldRoot = t.RootDigest()
 	tx := &Tx{tree: t}
 	ans, err := op.Apply(tx)
 	if err != nil {
-		return digest.Zero, digest.Zero, err
+		return digest.Zero, digest.Zero, nil, err
 	}
+	if err := checkClaim(ans, claimedAns); err != nil {
+		return digest.Zero, digest.Zero, nil, err
+	}
+	return oldRoot, tx.tree.RootDigest(), tx.tree, nil
+}
+
+// ReplayOn replays op directly on prev, a post-state tree a prior
+// VerifyDeriveTree (or ReplayOn) produced, and checks the claimed
+// answer against the replay. It is the audit batch's fast path: when
+// the server's claimed pre-counter says this operation directly
+// extends the verifier's own last verified state, the pre-state is
+// already in hand and the VO need not be unpacked at all. prev is not
+// modified (trees are persistent).
+//
+// prev is pruned to the paths the producing VO covered, so a replay
+// touching keys outside that coverage fails with merkle.ErrPruned —
+// the caller falls back to the full VO path. An answer mismatch here
+// is the same lie it is in VerifyDerive (the claimed answer is not
+// what the committed state yields).
+func ReplayOn(prev *merkle.Tree, op Op, claimedAns []byte) (newRoot digest.Digest, post *merkle.Tree, err error) {
+	tx := &Tx{tree: prev}
+	ans, err := op.Apply(tx)
+	if err != nil {
+		return digest.Zero, nil, err
+	}
+	if err := checkClaim(ans, claimedAns); err != nil {
+		return digest.Zero, nil, err
+	}
+	return tx.tree.RootDigest(), tx.tree, nil
+}
+
+// checkClaim judges the server's claimed answer bytes against a
+// locally replayed answer.
+func checkClaim(ans any, claimedAns []byte) error {
 	got, err := EncodeAnswer(ans)
 	if err != nil {
-		return digest.Zero, digest.Zero, err
+		return err
 	}
 	// Fast path: when the claimed bytes equal the local encoding of the
 	// replayed answer, the claim trivially decodes to the replayed
@@ -569,13 +613,13 @@ func VerifyDerive(op Op, claimedAns []byte, vo *merkle.VO) (oldRoot, newRoot dig
 		// the claim by decode + local re-encode before judging.
 		claimed, err := canonicalAnswer(claimedAns)
 		if err != nil {
-			return digest.Zero, digest.Zero, fmt.Errorf("%w (undecodable claim: %v)", ErrAnswerMismatch, err)
+			return fmt.Errorf("%w (undecodable claim: %v)", ErrAnswerMismatch, err)
 		}
 		if !bytes.Equal(got, claimed) {
-			return digest.Zero, digest.Zero, ErrAnswerMismatch
+			return ErrAnswerMismatch
 		}
 	}
-	return oldRoot, tx.tree.RootDigest(), nil
+	return nil
 }
 
 // Verify is the client side for a caller that already trusts a root:

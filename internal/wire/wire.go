@@ -6,17 +6,17 @@
 // Two codec modes share the same [4-byte big-endian length][gob bytes]
 // frame format:
 //
-//   - Streaming (Encoder/Decoder, the default for Conn and Serve): one
-//     persistent gob stream per connection direction, so type
-//     descriptors cross the wire once per connection instead of once
-//     per message — the dominant per-op codec cost on the hot path.
-//     Each frame is assembled into a reused per-connection buffer and
-//     written header+body in a single syscall.
+//   - Streaming (Encoder/Decoder, the default for Conn, Serve and the
+//     broadcast hub): one persistent gob stream per connection
+//     direction, so type descriptors cross the wire once per
+//     connection instead of once per message — and, just as
+//     important, decoder engines are compiled once per connection
+//     instead of once per message. Each frame is assembled into a
+//     reused per-connection buffer and written header+body in a
+//     single syscall.
 //   - Self-contained (Write/Read, the seed codec): every frame is an
 //     independent gob stream. Readers never depend on connection
-//     history, which is what the broadcast fan-out needs (one message,
-//     many unrelated connections) and what E13's seed-compat baseline
-//     measures.
+//     history — what E13's seed-compat baseline measures.
 //
 // The two modes do not interoperate on one connection: a persistent
 // decoder rejects the duplicate type descriptors that self-contained

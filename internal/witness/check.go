@@ -62,6 +62,22 @@ func NewCheck(serverName string, pub ed25519.PublicKey, quorum int) *Check {
 	}
 }
 
+// SetWindow resizes the remembered-roots window (0 restores
+// DefaultCheckWindow). Epoch-audit deployments size it to a small
+// multiple of the epoch length: with commitments on the epoch grid and
+// verification lagging up to one pipelined epoch behind, a window of
+// one epoch can evict the boundary commitment's root before the check
+// runs, silently degrading it to signature-only. Call before the first
+// operation.
+func (c *Check) SetWindow(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		n = DefaultCheckWindow
+	}
+	c.window = n
+}
+
 // AddWitness registers a witness endpoint to query.
 func (c *Check) AddWitness(name string, dial DialFunc) {
 	c.mu.Lock()
@@ -72,11 +88,35 @@ func (c *Check) AddWitness(name string, dial DialFunc) {
 // Observe records a (ctr, root) pair this client verified through a
 // VO. Old pairs are evicted once the window fills.
 func (c *Check) Observe(ctr uint64, root digest.Digest) {
-	if ctr == 0 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observeLocked(ctr, root)
+}
+
+// Observation is one verified (ctr, root) pair, the batch element of
+// ObserveBatch.
+type Observation struct {
+	Ctr  uint64
+	Root digest.Digest
+}
+
+// ObserveBatch records a batch of verified pairs under one lock
+// hand-off — the epoch auditor's per-batch amortization of Observe.
+func (c *Check) ObserveBatch(obs []Observation) {
+	if len(obs) == 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for _, o := range obs {
+		c.observeLocked(o.Ctr, o.Root)
+	}
+}
+
+func (c *Check) observeLocked(ctr uint64, root digest.Digest) {
+	if ctr == 0 {
+		return
+	}
 	// Keep the first pair recorded per ctr: two VOs verifying different
 	// roots for one global counter would already have tripped the
 	// protocol's own register checks.

@@ -21,8 +21,9 @@ const DefaultCommitEvery = 8
 // goroutine per commitment so the operation hot path never waits on a
 // witness.
 type Publisher struct {
-	id    *Identity
-	every uint64
+	id      *Identity
+	every   uint64
+	aligned bool
 
 	mu        sync.Mutex
 	seq       uint64
@@ -52,6 +53,20 @@ func NewPublisher(id *Identity, every uint64) *Publisher {
 
 // Identity returns the publisher's signing identity.
 func (p *Publisher) Identity() *Identity { return p.id }
+
+// Align pins the commitment cadence to exact multiples of the cadence
+// period instead of "every period since the last commit": the next
+// commitment after the one covering ctr lands at the first head past
+// ctr-ctr%every+every. Epoch-audit deployments call this with the
+// cadence set to the epoch length, so every epoch boundary has a
+// signed commitment at (or just past) it and the auditor's per-epoch
+// quorum check compares against a root from its own epoch window.
+// Call before the first operation.
+func (p *Publisher) Align() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.aligned = true
+}
 
 // AddWitness registers a witness endpoint.
 func (p *Publisher) AddWitness(name string, dial DialFunc) {
@@ -89,7 +104,14 @@ func (p *Publisher) commitLocked(ctr uint64, root digest.Digest) *SubmitRequest 
 	p.seq++
 	c := p.id.Commit(p.seq, ctr, root, p.prev)
 	p.prev = root
-	p.nextAt = ctr + p.every
+	if p.aligned {
+		// Next boundary strictly past ctr: commitments track the
+		// epoch grid rather than drifting by the offset of whatever
+		// head happened to trip the previous commit.
+		p.nextAt = ctr - ctr%p.every + p.every
+	} else {
+		p.nextAt = ctr + p.every
+	}
 	return &SubmitRequest{Commit: c, Pub: append([]byte(nil), p.id.Public()...)}
 }
 

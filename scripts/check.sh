@@ -26,10 +26,13 @@ go test -race ./...
 # command away: kill/restart a live server mid-workload over faulty
 # connections (E14), kill the primary for good — witness promotion,
 # client failover, fork conviction by gossip, zero false alarms (E15) —
-# and the Merkle forest: 64 racing clients over sharded trees with a
+# the Merkle forest: 64 racing clients over sharded trees with a
 # gap-free global permutation, torn cross-shard commits detected as
-# typed evidence, and the E16 scaling sweep shape.
-go test -race -run 'Fault|Resilient|Resume|Recovery|Witness|E14|E15|Forest|Torn|E16' ./internal/fault ./internal/transport ./internal/broadcast ./internal/server ./internal/witness ./internal/bench ./internal/core/proto2 .
+# typed evidence, and the E16 scaling sweep shape — and the epoch
+# auditor: optimistic answers verified in batches, backpressure
+# degrading to sync instead of dropping, adversaries convicted within
+# one epoch (E17).
+go test -race -run 'Fault|Resilient|Resume|Recovery|Witness|E14|E15|Forest|Torn|E16|Audit|Epoch|E17' ./internal/fault ./internal/transport ./internal/broadcast ./internal/server ./internal/witness ./internal/bench ./internal/core/proto2 ./internal/audit ./internal/driver .
 
 go test -run='^$' -fuzz='^FuzzFrameDecode$' -fuzztime=10s ./internal/wire
 go test -run='^$' -fuzz='^FuzzVOVerify$' -fuzztime=10s ./internal/merkle

@@ -6,11 +6,16 @@
 //
 // Usage:
 //
-//	tcvs-lint [-json] [-passes p1,p2] [-slow name,name] [pattern ...]
+//	tcvs-lint [-json] [-passes p1,p2] [-slow name,name] [-time] [-graph call|lock] [pattern ...]
 //
 // Patterns are package directories relative to the working directory;
 // "./..." (the default) analyzes the whole module. Exit status: 0 when
 // clean, 1 when findings were reported, 2 on load or usage errors.
+//
+// -graph dumps the interprocedural engine's view (the type-resolved
+// call graph or the lock-order graph) as Graphviz DOT on stdout and
+// exits — the triage companion to a verifyflow/lockorder finding.
+// -time prints per-pass wall-clock timings to stderr.
 package main
 
 import (
@@ -31,6 +36,8 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of file:line text")
 	passNames := flag.String("passes", "", "comma-separated subset of passes to run (default: all)")
 	slow := flag.String("slow", "", "extra lockscope slow-call names (go/types FullName form), comma-separated")
+	graph := flag.String("graph", "", "dump a graph as Graphviz DOT and exit: \"call\" (call graph) or \"lock\" (lock-order graph)")
+	timings := flag.Bool("time", false, "print per-pass wall-clock timings to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tcvs-lint [flags] [pattern ...]\n\npasses:\n")
 		for _, p := range lint.Passes() {
@@ -70,7 +77,25 @@ func run() int {
 		}
 	}
 
-	diags := lint.Run(m, passes)
+	switch *graph {
+	case "":
+	case "call":
+		fmt.Print(lint.CallGraphDOT(m))
+		return 0
+	case "lock":
+		fmt.Print(lint.LockGraphDOT(m))
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "tcvs-lint: -graph wants \"call\" or \"lock\", got %q\n", *graph)
+		return 2
+	}
+
+	diags, passTimes := lint.RunTimed(m, passes)
+	if *timings {
+		for _, t := range passTimes {
+			fmt.Fprintf(os.Stderr, "tcvs-lint: %-16s %8.1fms\n", t.Name, float64(t.Elapsed.Microseconds())/1000)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

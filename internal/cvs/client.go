@@ -148,7 +148,7 @@ func (c *Client) checkout(op *CheckoutOp) (map[string][]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cvs: fetch %s@%d: %w", st.Path, st.Rev, err)
 		}
-		if rcs.HashContent(content) != st.Hash {
+		if err := rcs.CheckContent(content, st.Hash); err != nil {
 			return nil, fmt.Errorf("%w: %s@%d", ErrContentTampered, st.Path, st.Rev)
 		}
 		out[st.Path] = content

@@ -41,6 +41,7 @@ import (
 	"trustedcvs/internal/core/proto3"
 	"trustedcvs/internal/digest"
 	"trustedcvs/internal/forensics"
+	"trustedcvs/internal/rcs"
 	"trustedcvs/internal/server"
 	"trustedcvs/internal/sig"
 	"trustedcvs/internal/transport"
@@ -491,6 +492,7 @@ func (c *Client) recvLoop() {
 			// assembly must make progress while a Do holds the client
 			// lock across a server call.
 			if c.aud != nil {
+				//lint:ignore verifyflow the hub is the paper's assumed user-only reliable channel (Theorem 3.1 external communication; broadcast package doc) — the untrusted server never sees it, and the auditor's closure check is itself the verifier these reports feed
 				c.aud.SubmitReport(p.Report)
 			}
 		}
@@ -663,6 +665,13 @@ func (c *Client) Fetch(path string, rev uint64, hash digest.Digest) ([]byte, err
 	cr, ok := resp.(*core.ContentResponse)
 	if !ok {
 		return nil, fmt.Errorf("driver: fetch returned %T", resp)
+	}
+	// The blob bytes are the server's word alone until they hash to the
+	// authenticated revision hash; verify before handing them up (the
+	// cvs layer re-checks, but this transfer must not be the one path
+	// that delivers unverified bytes).
+	if err := rcs.CheckContent(cr.Content, hash); err != nil {
+		return nil, err
 	}
 	return cr.Content, nil
 }

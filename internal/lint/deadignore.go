@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// passDeadIgnore keeps the annotation debt honest: a //lint:ignore
+// directive that suppresses nothing is itself a finding. As passes get
+// smarter (or the annotated code gets fixed), stale suppressions
+// otherwise accumulate and quietly widen the blind spot around the
+// line they sit on.
+//
+// A directive is only judged when the question is decidable this run:
+// every pass it names must actually have executed (running `-passes
+// errdrop` must not condemn a lockscope annotation). Directives naming
+// "all" or "deadignore" are exempt — a blanket directive is used by
+// definition of its breadth, and a self-referential one would suppress
+// its own staleness report. A directive naming an unknown pass is
+// always stale: it can never suppress anything.
+var passDeadIgnore = &Pass{
+	Name: nameDeadIgnore,
+	Doc:  "stale //lint:ignore directives that suppress no current finding",
+	Run:  runDeadIgnore,
+}
+
+func runDeadIgnore(m *Module) []Diag {
+	// Only audit files of the packages the user asked to lint.
+	inScope := make(map[string]bool)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			inScope[m.relFile(m.Fset.Position(f.Pos()).Filename)] = true
+		}
+	}
+	files := make([]string, 0, len(m.ignores))
+	for rel := range m.ignores {
+		if inScope[rel] {
+			files = append(files, rel)
+		}
+	}
+	sort.Strings(files)
+
+	var out []Diag
+	for _, rel := range files {
+		for _, ig := range m.ignores[rel] {
+			if ig.used || !m.deadIgnoreCheckable(ig) {
+				continue
+			}
+			out = append(out, m.diagf(nameDeadIgnore, ig.pos,
+				"stale suppression: //lint:ignore %s matches no current finding — delete it or fix the pass list",
+				strings.Join(ig.passes, ",")))
+		}
+	}
+	return out
+}
+
+// deadIgnoreCheckable reports whether this run can decide the
+// directive's staleness.
+func (m *Module) deadIgnoreCheckable(ig *ignoreDirective) bool {
+	for _, p := range ig.passes {
+		if p == "all" || p == nameDeadIgnore {
+			return false
+		}
+		if !knownPassNames[p] {
+			continue // unknown pass: stale by construction, always decidable
+		}
+		if !m.ranPasses[p] {
+			return false
+		}
+	}
+	return true
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -12,6 +13,8 @@ import (
 type ignoreDirective struct {
 	passes []string
 	line   int
+	pos    token.Pos
+	used   bool // suppressed at least one finding this run (see deadignore)
 }
 
 // collectIgnores indexes every //lint:ignore directive of the files.
@@ -32,9 +35,10 @@ func (m *Module) collectIgnores(files []*ast.File) {
 				}
 				pos := m.Fset.Position(c.Pos())
 				rel := m.relFile(pos.Filename)
-				m.ignores[rel] = append(m.ignores[rel], ignoreDirective{
+				m.ignores[rel] = append(m.ignores[rel], &ignoreDirective{
 					passes: strings.Split(fields[0], ","),
 					line:   pos.Line,
+					pos:    c.Pos(),
 				})
 			}
 		}
@@ -42,7 +46,8 @@ func (m *Module) collectIgnores(files []*ast.File) {
 }
 
 // suppressed reports whether a finding is covered by an ignore
-// directive.
+// directive, marking the directive as used (deadignore reports the
+// ones that never are).
 func (m *Module) suppressed(pass string, d Diag) bool {
 	for _, ig := range m.ignores[d.File] {
 		if d.Line != ig.line && d.Line != ig.line+1 {
@@ -50,6 +55,7 @@ func (m *Module) suppressed(pass string, d Diag) bool {
 		}
 		for _, p := range ig.passes {
 			if p == pass || p == "all" {
+				ig.used = true
 				return true
 			}
 		}

@@ -29,6 +29,7 @@ import (
 	"go/ast"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // A Diag is one finding: a violated invariant at a source position.
@@ -61,9 +62,15 @@ const (
 	nameErrDrop        = "errdrop"
 	namePanicFree      = "panicfree"
 	nameSleepRetry     = "sleepretry"
+	nameVerifyFlow     = "verifyflow"
+	nameLockOrder      = "lockorder"
+	nameDeadIgnore     = "deadignore"
 )
 
 // Passes returns all registered passes in their canonical order.
+// deadignore is last by construction: it audits the suppression
+// directives the other passes consumed, so they must run first (Run
+// reorders it to the end regardless of the list it is given).
 func Passes() []*Pass {
 	return []*Pass{
 		passHashDiscipline,
@@ -72,7 +79,24 @@ func Passes() []*Pass {
 		passErrDrop,
 		passPanicFree,
 		passSleepRetry,
+		passVerifyFlow,
+		passLockOrder,
+		passDeadIgnore,
 	}
+}
+
+// knownPassNames mirrors Passes() as plain constants so deadignore can
+// consult it without an initialization cycle through the Pass vars.
+var knownPassNames = map[string]bool{
+	nameHashDiscipline: true,
+	nameLockScope:      true,
+	nameRandSource:     true,
+	nameErrDrop:        true,
+	namePanicFree:      true,
+	nameSleepRetry:     true,
+	nameVerifyFlow:     true,
+	nameLockOrder:      true,
+	nameDeadIgnore:     true,
 }
 
 // PassByName resolves a comma-separable pass name; nil if unknown.
@@ -88,13 +112,52 @@ func PassByName(name string) *Pass {
 // Run executes the passes over the module, filters suppressed findings,
 // and returns the rest sorted by position.
 func Run(m *Module, passes []*Pass) []Diag {
-	var out []Diag
+	out, _ := RunTimed(m, passes)
+	return out
+}
+
+// PassTiming is one pass's wall-clock cost for a RunTimed invocation.
+type PassTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunTimed is Run plus per-pass wall-clock timings (scripts/check.sh
+// prints them so a pass that regresses into pathological cost is
+// visible in CI output, not just felt).
+func RunTimed(m *Module, passes []*Pass) ([]Diag, []PassTiming) {
+	// deadignore always runs last: it reports directives that
+	// suppressed nothing, which is only known after the other
+	// requested passes have run and consumed their suppressions.
+	ordered := make([]*Pass, 0, len(passes))
+	var dead *Pass
 	for _, p := range passes {
+		if p.Name == nameDeadIgnore {
+			dead = p
+			continue
+		}
+		ordered = append(ordered, p)
+	}
+	if dead != nil {
+		ordered = append(ordered, dead)
+	}
+	if m.ranPasses == nil {
+		m.ranPasses = make(map[string]bool)
+	}
+	for _, p := range ordered {
+		m.ranPasses[p.Name] = true
+	}
+
+	var out []Diag
+	var timings []PassTiming
+	for _, p := range ordered {
+		start := time.Now()
 		for _, d := range p.Run(m) {
 			if !m.suppressed(p.Name, d) {
 				out = append(out, d)
 			}
 		}
+		timings = append(timings, PassTiming{Name: p.Name, Elapsed: time.Since(start)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -112,7 +175,7 @@ func Run(m *Module, passes []*Pass) []Diag {
 		}
 		return a.Msg < b.Msg
 	})
-	return out
+	return out, timings
 }
 
 // calleeFunc resolves the function or method a call statically invokes.

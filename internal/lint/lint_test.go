@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -25,8 +26,16 @@ func TestFixtureCorpus(t *testing.T) {
 		{"errdrop", "internal/codec/drop.go", 19},              // ExprStmt discard
 		{"errdrop", "internal/codec/drop.go", 24},              // error assigned to _
 		{"errdrop", "internal/codec/drop.go", 30},              // error lost in defer
+		{"errdrop", "internal/codec/drop.go", 38},              // error lost in parallel blank assignment
+		{"errdrop", "internal/codec/drop.go", 47},              // error lost in defer of a bound method value
+		{"deadignore", "internal/codec/drop.go", 60},           // stale //lint:ignore suppressing nothing
 		{"lockscope", "internal/core/sign.go", 20},             // ed25519.Sign under Lock
 		{"hashdiscipline", "internal/cvs/rawgob.go", 13},       // raw gob on net.Conn
+		{"verifyflow", "internal/flow/flow.go", 21},            // decode→Put, no verification (direct)
+		{"verifyflow", "internal/flow/flow.go", 42},            // decode→Put through helper result summary
+		{"verifyflow", "internal/flow/flow.go", 58},            // decode→Delete through helper param-sink summary
+		{"lockorder", "internal/locks/locks.go", 34},           // Index/Journal cycle closed via lock() wrapper
+		{"lockorder", "internal/locks/locks.go", 55},           // acquisition under terminal fmu via helper summary
 		{"randsource", "internal/merkle/clock.go", 7},          // time.Now in merkle
 		{"hashdiscipline", "internal/merkle/hash.go", 6},       // sha256 outside digest
 		{"panicfree", "internal/server/entry.go", 29},          // panic via HandleOp
@@ -77,6 +86,55 @@ func TestFixtureSinglePass(t *testing.T) {
 		if d.Pass != "hashdiscipline" {
 			t.Errorf("unexpected pass %q in filtered run", d.Pass)
 		}
+	}
+}
+
+// TestDeadIgnoreDecidability pins the stale-suppression rules: a
+// directive is judged only when every pass it names actually ran.
+func TestDeadIgnoreDecidability(t *testing.T) {
+	load := func() *Module {
+		m, err := LoadModule("testdata/src/fixture", []string{"./..."})
+		if err != nil {
+			t.Fatalf("load fixture module: %v", err)
+		}
+		return m
+	}
+	// errdrop ran: the stale errdrop directive is decidable and stale.
+	got := Run(load(), []*Pass{PassByName(nameErrDrop), PassByName(nameDeadIgnore)})
+	found := false
+	for _, d := range got {
+		if d.Pass == nameDeadIgnore && d.File == "internal/codec/drop.go" && d.Line == 60 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("deadignore did not flag the stale errdrop directive: %v", got)
+	}
+	// errdrop did not run: the same directive must not be judged.
+	for _, d := range Run(load(), []*Pass{PassByName(nameLockScope), PassByName(nameDeadIgnore)}) {
+		if d.Pass == nameDeadIgnore {
+			t.Errorf("deadignore judged an undecidable directive: %s", d)
+		}
+	}
+}
+
+// TestGraphDOT smoke-tests the -graph triage dumps: both graphs must
+// render and contain the fixture's planted interprocedural edges.
+func TestGraphDOT(t *testing.T) {
+	m, err := LoadModule("testdata/src/fixture", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load fixture module: %v", err)
+	}
+	call := CallGraphDOT(m)
+	if !strings.Contains(call, `"locks.(Folder).FoldThenIndex" -> "locks.(Folder).reindex"`) {
+		t.Errorf("call graph DOT lacks the FoldThenIndex -> reindex edge:\n%s", call)
+	}
+	lock := LockGraphDOT(m)
+	if !strings.Contains(lock, `"internal/locks.Index.mu" -> "internal/locks.Journal.mu"`) {
+		t.Errorf("lock graph DOT lacks the Index -> Journal edge:\n%s", lock)
+	}
+	if !strings.Contains(lock, `"internal/locks.Folder.fmu" -> "internal/locks.Index.mu"`) {
+		t.Errorf("lock graph DOT lacks the fmu -> Index edge:\n%s", lock)
 	}
 }
 

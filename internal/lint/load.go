@@ -27,11 +27,14 @@ type Module struct {
 	// the module's own path; callers may add entries.
 	SlowCalls map[string]bool
 
-	pkgs    map[string]*Package // every loaded package, including dependencies
-	loading map[string]bool     // cycle guard
-	stdGC   types.Importer      // gc export-data importer for the standard library
-	stdSrc  types.Importer      // source-importer fallback
-	ignores map[string][]ignoreDirective
+	pkgs      map[string]*Package // every loaded package, including dependencies
+	loading   map[string]bool     // cycle guard
+	stdGC     types.Importer      // gc export-data importer for the standard library
+	stdSrc    types.Importer      // source-importer fallback
+	ignores   map[string][]*ignoreDirective
+	ranPasses map[string]bool // passes executed by Run (read by deadignore)
+	cg        *CallGraph      // lazily built by callGraph()
+	lg        *LockGraph      // lazily built by lockGraph()
 }
 
 // Package is one type-checked package of the module.
@@ -65,7 +68,7 @@ func LoadModule(dir string, patterns []string) (*Module, error) {
 		SlowCalls: defaultSlowCalls(path),
 		pkgs:      make(map[string]*Package),
 		loading:   make(map[string]bool),
-		ignores:   make(map[string][]ignoreDirective),
+		ignores:   make(map[string][]*ignoreDirective),
 	}
 	dirs, err := m.expand(absDir, patterns)
 	if err != nil {

@@ -1,0 +1,11 @@
+// auditor.go gives verifyflow its fixture admission gate: a function
+// that blocks on WaitAdmissible has discharged the optimistic-delivery
+// obligation (the E17 epoch-audit bound).
+package audit
+
+// Auditor is the epoch-audit stand-in.
+type Auditor struct{}
+
+// WaitAdmissible blocks until optimistically delivered results may be
+// used.
+func (a *Auditor) WaitAdmissible() {}

@@ -30,8 +30,33 @@ func DeferDecode(buf *bytes.Buffer, v *int) {
 	defer dec.Decode(v)
 }
 
+// ParallelBlank drops the encode error in a parallel assignment: the
+// blank slot lines up with a single-result error call.
+func ParallelBlank(v int) int {
+	var buf bytes.Buffer
+	var n int
+	_, n = gob.NewEncoder(&buf).Encode(v), v
+	return n
+}
+
+// DeferBound loses the error of a method value bound to a variable
+// and then deferred.
+func DeferBound(buf *bytes.Buffer, v *int) {
+	dec := gob.NewDecoder(buf)
+	f := dec.Decode
+	defer f(v)
+}
+
 // Checked handles the error and must not be reported.
 func Checked(v int) error {
 	var buf bytes.Buffer
+	return gob.NewEncoder(&buf).Encode(v)
+}
+
+// Handled also checks its error; the directive above it therefore
+// suppresses nothing and is deadignore's pinned stale case.
+func Handled(v int) error {
+	var buf bytes.Buffer
+	//lint:ignore errdrop fixture: stale — the error below is handled, not dropped
 	return gob.NewEncoder(&buf).Encode(v)
 }

@@ -1,0 +1,94 @@
+// Package flow exercises verifyflow end to end: unsanitized
+// decode→state paths (direct, through a helper's result summary, and
+// through a helper's param-sink summary), a sanitized path, a gated
+// path, and a suppressed path. Only the three unsanitized paths may be
+// reported.
+package flow
+
+import (
+	"fixture.example/internal/audit"
+	"fixture.example/internal/vdb"
+	"fixture.example/internal/wire"
+)
+
+// StoreRaw commits a decoded value with no verification: the direct
+// source→sink finding.
+func StoreRaw(dec *wire.Decoder, tx *vdb.Tx, k []byte) error {
+	v, err := dec.Decode()
+	if err != nil {
+		return err
+	}
+	return tx.Put(k, v.([]byte))
+}
+
+// readPayload decodes one frame; its result carries the peer's bytes
+// out through the function summary.
+func readPayload(dec *wire.Decoder) ([]byte, error) {
+	v, err := dec.Decode()
+	if err != nil {
+		return nil, err
+	}
+	b, _ := v.([]byte)
+	return b, nil
+}
+
+// StoreDecoded commits through the helper: the taint crosses the call
+// via readPayload's summary (interprocedural result flow).
+func StoreDecoded(dec *wire.Decoder, tx *vdb.Tx, k []byte) error {
+	b, err := readPayload(dec)
+	if err != nil {
+		return err
+	}
+	return tx.Put(k, b)
+}
+
+// scrub removes one key; the sink is a frame below its caller, so a
+// caller handing it untrusted bytes is reported at the hand-off.
+func scrub(tx *vdb.Tx, k []byte) error {
+	return tx.Delete(k)
+}
+
+// DeleteDecoded hands untrusted bytes to a helper whose summary says
+// they reach a sink (interprocedural param-sink flow).
+func DeleteDecoded(dec *wire.Decoder, tx *vdb.Tx) error {
+	v, err := dec.Decode()
+	if err != nil {
+		return err
+	}
+	return scrub(tx, v.([]byte))
+}
+
+// StoreVerified runs the decoded value through the VO check first and
+// must stay silent.
+func StoreVerified(dec *wire.Decoder, tx *vdb.Tx, k []byte) error {
+	v, err := dec.Decode()
+	if err != nil {
+		return err
+	}
+	if err := vdb.Verify(v); err != nil {
+		return err
+	}
+	return tx.Put(k, v.([]byte))
+}
+
+// StoreGated blocks on the admission gate before committing: the
+// optimistic-delivery obligation is discharged, so it stays silent.
+func StoreGated(a *audit.Auditor, dec *wire.Decoder, tx *vdb.Tx, k []byte) error {
+	v, err := dec.Decode()
+	if err != nil {
+		return err
+	}
+	a.WaitAdmissible()
+	return tx.Put(k, v.([]byte))
+}
+
+// StoreSuppressed carries a reasoned directive: suppressed, and the
+// directive counts as used so deadignore stays quiet about it.
+func StoreSuppressed(dec *wire.Decoder, tx *vdb.Tx, k []byte) error {
+	v, err := dec.Decode()
+	if err != nil {
+		return err
+	}
+	//lint:ignore verifyflow fixture: the downstream consumer re-verifies this value
+	return tx.Put(k, v.([]byte))
+}

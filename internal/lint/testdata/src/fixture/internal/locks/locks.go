@@ -1,0 +1,68 @@
+// Package locks exercises lockorder: a cross-class cycle closed
+// interprocedurally through a wrapper method's summary, an
+// acquisition under the terminal fold mutex reached through a helper,
+// and the same-class ascending pattern that must stay silent.
+package locks
+
+import "sync"
+
+// Journal and Index are two lock classes with no documented order
+// between them.
+type Journal struct{ mu sync.Mutex }
+
+// Index is the second class of the cycle.
+type Index struct{ mu sync.Mutex }
+
+func (j *Journal) lock()   { j.mu.Lock() }
+func (j *Journal) unlock() { j.mu.Unlock() }
+
+// AppendBoth holds the journal while updating the index:
+// Journal.mu -> Index.mu.
+func AppendBoth(j *Journal, ix *Index) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ix.mu.Lock()
+	ix.mu.Unlock()
+}
+
+// ReindexBoth closes the cycle the other way, reaching the journal
+// lock through its wrapper: Index.mu -> Journal.mu via the lock()
+// summary.
+func ReindexBoth(j *Journal, ix *Index) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	j.lock()
+	j.unlock()
+}
+
+// Folder mirrors the forest fold mutex: fmu is terminal in the
+// documented lock order.
+type Folder struct {
+	fmu sync.Mutex
+	ix  Index
+}
+
+func (f *Folder) reindex() {
+	f.ix.mu.Lock()
+	f.ix.mu.Unlock()
+}
+
+// FoldThenIndex acquires the index inside the fold section through a
+// helper: the terminal-order violation, found via reindex's summary.
+func (f *Folder) FoldThenIndex() {
+	f.fmu.Lock()
+	defer f.fmu.Unlock()
+	f.reindex()
+}
+
+// Shard is one class with many instances.
+type Shard struct{ mu sync.Mutex }
+
+// LockAscending acquires two instances of one class in address order —
+// the forest's shard-ascending pattern; same-class edges are exempt.
+func LockAscending(a, b *Shard) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

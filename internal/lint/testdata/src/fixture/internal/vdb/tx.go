@@ -1,0 +1,31 @@
+// tx.go gives verifyflow its fixture trusted-state surface: Tx.Put
+// and Tx.Delete are the sinks, Verify is the VO-check sanitizer.
+package vdb
+
+import "errors"
+
+// Tx is a write transaction on the authenticated store.
+type Tx struct{ kv map[string][]byte }
+
+// Put writes one key into the authenticated store.
+func (t *Tx) Put(k, v []byte) error {
+	if t.kv == nil {
+		t.kv = make(map[string][]byte)
+	}
+	t.kv[string(k)] = v
+	return nil
+}
+
+// Delete removes one key from the authenticated store.
+func (t *Tx) Delete(k []byte) error {
+	delete(t.kv, string(k))
+	return nil
+}
+
+// Verify checks a decoded value against the verification object.
+func Verify(v any) error {
+	if v == nil {
+		return errors.New("vdb: nothing to verify")
+	}
+	return nil
+}

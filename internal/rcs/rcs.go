@@ -48,6 +48,18 @@ func HashContent(content []byte) digest.Digest {
 	return digest.OfBytes(digest.DomainBlob, content)
 }
 
+// CheckContent verifies fetched blob bytes against the authenticated
+// hash the client pinned for that revision. Every transfer path that
+// hands content to a caller must run fetched bytes through this check
+// (tcvs-lint's verifyflow pass treats it as the sanitizer for blob
+// content).
+func CheckContent(content []byte, want digest.Digest) error {
+	if HashContent(content) != want {
+		return fmt.Errorf("rcs: content does not match authenticated hash %s", want.Short())
+	}
+	return nil
+}
+
 // File is the revision chain for a single file: full head text plus
 // reverse deltas back to revision 1.
 type File struct {

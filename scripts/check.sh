@@ -2,7 +2,11 @@
 # check.sh — the repo's full verification gate. Run it before every
 # commit: formatting, vet, build, the repo's own invariant analyzer
 # (tcvs-lint: hash discipline, lock narrowness, deterministic
-# verification paths, checked errors, panic-free handlers), the whole
+# verification paths, checked errors, panic-free handlers, plus the
+# interprocedural passes — verifyflow's untrusted-source → trusted-state
+# taint check and lockorder's static lock-acquisition cycle check —
+# and deadignore's stale-suppression sweep; -time prints per-pass
+# wall-clock so a regressing pass is visible in CI logs), the whole
 # test suite under the race detector (the pipelined server hot path
 # and the fault/recovery suite — kill/restart, reconnect, resume — are
 # only trustworthy race-clean), and a fuzz smoke over the four
@@ -19,7 +23,7 @@ fi
 
 go vet ./...
 go build ./...
-go run ./cmd/tcvs-lint ./...
+go run ./cmd/tcvs-lint -time ./...
 go test -race ./...
 # The full race run above already includes the fault and witness
 # suites; this named pass keeps the PRs' acceptance scenarios one

@@ -2,6 +2,7 @@ package trustedcvs
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"trustedcvs/internal/adversary"
@@ -76,6 +77,14 @@ type ClusterConfig struct {
 	// audit package default). A full queue degrades clients to the
 	// audit rate; it never drops verification obligations.
 	AuditQueue int
+	// AuditWALRoot makes the epoch audit crash-durable: each client
+	// journals its verification obligations under
+	// AuditWALRoot/user-<i> before releasing the optimistic answer,
+	// and a cluster rebuilt over the same root resumes from the
+	// journals' cursors — replaying and re-verifying everything the
+	// crash left unaudited. Requires AuditEpoch > 0 and Network mode
+	// (resume rides the TCP hub's full-history replay).
+	AuditWALRoot string
 }
 
 // Cluster is a ready-to-use deployment: an (optionally malicious)
@@ -123,6 +132,12 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.AuditEpoch > 0 && cfg.Protocol != ProtocolII {
 		return nil, fmt.Errorf("trustedcvs: epoch-audit mode requires Protocol II")
+	}
+	if cfg.AuditWALRoot != "" && cfg.AuditEpoch == 0 {
+		return nil, fmt.Errorf("trustedcvs: AuditWALRoot requires epoch-audit mode (AuditEpoch > 0)")
+	}
+	if cfg.AuditWALRoot != "" && !cfg.Network {
+		return nil, fmt.Errorf("trustedcvs: AuditWALRoot requires Network mode (resume needs the TCP hub's history replay)")
 	}
 	db := vdb.NewSharded(cfg.MerkleOrder, cfg.Shards)
 	signers, ring, err := sig.DeterministicSigners(cfg.Users, cfg.KeySeed)
@@ -209,6 +224,13 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.tcpHub = hs
 		dial = func() (transport.Caller, error) { return transport.Dial(ts.Addr()) }
 		join = func() (broadcast.Channel, error) { return broadcast.DialHub(hs.Addr()) }
+		if cfg.AuditWALRoot != "" {
+			// Durable clients need the resumable channel: a restarted
+			// client's fresh session replays the hub's entire report
+			// history, re-delivering every peer boundary report its
+			// recovery must re-close epochs against.
+			join = func() (broadcast.Channel, error) { return broadcast.DialHubResume(hs.Addr()), nil }
+		}
 	}
 
 	for i := 0; i < cfg.Users; i++ {
@@ -246,7 +268,11 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 				u.EnableJournal(cfg.JournalCap)
 			}
 			if cfg.AuditEpoch > 0 {
-				dc, err = driver.NewP2Epoch(u, conn, bc, cfg.Users, cfg.AuditEpoch, cfg.AuditQueue)
+				walDir := ""
+				if cfg.AuditWALRoot != "" {
+					walDir = filepath.Join(cfg.AuditWALRoot, fmt.Sprintf("user-%d", i))
+				}
+				dc, err = driver.NewP2EpochWAL(u, conn, bc, cfg.Users, cfg.AuditEpoch, cfg.AuditQueue, walDir, nil)
 				if err != nil {
 					c.Close()
 					return nil, err

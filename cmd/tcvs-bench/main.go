@@ -1,4 +1,4 @@
-// Command tcvs-bench regenerates the experiment tables E1–E17 (see
+// Command tcvs-bench regenerates the experiment tables E1–E18 (see
 // DESIGN.md §2 for the mapping to the paper's figures, theorems and
 // design claims, and EXPERIMENTS.md for recorded results).
 //
@@ -11,6 +11,7 @@
 //	tcvs-bench -e E15     # witness replication/failover; writes BENCH_E15.json
 //	tcvs-bench -e E16     # Merkle forest scaling sweep; writes BENCH_E16.json
 //	tcvs-bench -e E17     # epoch-batched async audit; writes BENCH_E17.json
+//	tcvs-bench -e E18     # crash-durable audit matrix; writes BENCH_E18.json
 //
 // Experiments that record a BENCH_<ID>.json refuse to overwrite an
 // existing record unless -force is given: checked-in records are the
@@ -28,8 +29,8 @@ import (
 )
 
 func main() {
-	var e = flag.String("e", "all", "experiment to run: E1..E17 or all")
-	var out = flag.String("o", "", "output path for E13–E17's JSON record (default BENCH_<ID>.json)")
+	var e = flag.String("e", "all", "experiment to run: E1..E18 or all")
+	var out = flag.String("o", "", "output path for E13–E18's JSON record (default BENCH_<ID>.json)")
 	var force = flag.Bool("force", false, "overwrite an existing BENCH_<ID>.json record")
 	flag.Parse()
 
@@ -39,9 +40,9 @@ func main() {
 		}
 		return
 	}
-	// E13–E17 run through their Run functions so the raw data can be
+	// E13–E18 run through their Run functions so the raw data can be
 	// recorded alongside the rendered table.
-	if *e == "E13" || *e == "E14" || *e == "E15" || *e == "E16" || *e == "E17" {
+	if *e == "E13" || *e == "E14" || *e == "E15" || *e == "E16" || *e == "E17" || *e == "E18" {
 		path := *out
 		if path == "" {
 			path = fmt.Sprintf("BENCH_%s.json", *e)
@@ -68,8 +69,10 @@ func main() {
 			d, err = bench.RunE15(bench.DefaultE15Config())
 		case "E16":
 			d, err = bench.RunE16(bench.DefaultE16Config())
-		default:
+		case "E17":
 			d, err = bench.RunE17(bench.DefaultE17Config())
+		default:
+			d, err = bench.RunE18(bench.DefaultE18Config())
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", *e, err)
@@ -91,7 +94,7 @@ func main() {
 	}
 	run, ok := bench.ByID(*e)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E17 or all)\n", *e)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E18 or all)\n", *e)
 		os.Exit(2)
 	}
 	run().Render(os.Stdout)

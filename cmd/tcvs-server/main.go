@@ -36,6 +36,7 @@ import (
 
 	"trustedcvs/internal/adversary"
 	"trustedcvs/internal/broadcast"
+	"trustedcvs/internal/core"
 	"trustedcvs/internal/core/proto1"
 	"trustedcvs/internal/cvs"
 	"trustedcvs/internal/driver"
@@ -73,6 +74,7 @@ func main() {
 
 		auditMode = flag.String("audit", "sync", "client audit mode this deployment is provisioned for: sync (per-op barrier) or epoch (async epoch-batched audit)")
 		epochLen  = flag.Uint64("epoch-len", 0, "epoch length in global operations (-audit epoch; clients must use the same value)")
+		auditWAL  = flag.String("audit-wal", "", "durable op journal directory (protocol 2, honest only): applied ops and accepted content pushes are journaled with epoch-batched fsync and replayed over the -data snapshot on start")
 	)
 	flag.Parse()
 
@@ -109,6 +111,14 @@ func main() {
 		log.Printf("provisioned for epoch-batched audit: N=%d (detection within one epoch)", *epochLen)
 	default:
 		log.Fatalf("-audit %q: want sync or epoch", *auditMode)
+	}
+	if *auditWAL != "" {
+		if p != server.P2 {
+			log.Fatal("-audit-wal needs -proto 2")
+		}
+		if *behavior != "honest" {
+			log.Fatal("-audit-wal needs -behavior honest (a fork's history is not ours to preserve)")
+		}
 	}
 	db := vdb.New(*order)
 	if *shards > 1 {
@@ -155,6 +165,37 @@ func main() {
 		honest = server.NewP3(db)
 	}
 
+	store := loadedStore
+	if store == nil {
+		store = cvs.NewStore()
+	}
+
+	// The op journal replays its tail over the restored snapshot BEFORE
+	// any decoration and before the transport serves: recovery re-applies
+	// exactly the acked operations (and re-pushes the content blobs) the
+	// periodic checkpoint missed.
+	var journal *server.OpJournal
+	if *auditWAL != "" {
+		applied, pushed, err := server.ReplayOpJournal(*auditWAL, honest, store)
+		if err != nil {
+			log.Fatalf("replay op journal %s: %v", *auditWAL, err)
+		}
+		if applied > 0 || pushed > 0 {
+			log.Printf("op journal: replayed %d acked op(s) and %d content push(es) past the snapshot; head now %d, root %s",
+				applied, pushed, honest.DB().Ctr(), honest.DB().Root().Short())
+		}
+		journal, err = server.OpenOpJournal(*auditWAL, fault.OS, *epochLen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		honest = server.WithOpJournal(honest, journal)
+		batch := *epochLen
+		if batch == 0 {
+			batch = server.DefaultJournalEpoch
+		}
+		log.Printf("op journal at %s (fsync batched every %d ops)", *auditWAL, batch)
+	}
+
 	srv := honest
 	if *behavior != "honest" {
 		cfg, err := parseBehavior(*behavior, *trigger, *groupB, sig.UserID(*target))
@@ -165,6 +206,7 @@ func main() {
 		log.Printf("WARNING: running MALICIOUSLY: %s (trigger op %d)", *behavior, *trigger)
 	}
 
+	var pub *witness.Publisher
 	if *witnesses != "" {
 		wid, err := witness.NewIdentity("primary")
 		if err != nil {
@@ -174,7 +216,7 @@ func main() {
 		if epochAudit && every == 0 {
 			every = *epochLen
 		}
-		pub := witness.NewPublisher(wid, every)
+		pub = witness.NewPublisher(wid, every)
 		if epochAudit {
 			pub.Align()
 		}
@@ -204,11 +246,21 @@ func main() {
 		}()
 	}
 
-	store := loadedStore
-	if store == nil {
-		store = cvs.NewStore()
-	}
 	handler := driver.NewHandler(srv, store)
+	if journal != nil {
+		// Content pushes bypass the protocol server, so the decorator on
+		// srv never sees them; journal them at the handler instead.
+		inner := handler
+		handler = func(req any) (any, error) {
+			resp, err := inner(req)
+			if err == nil {
+				if p, ok := req.(*core.PushContentRequest); ok {
+					journal.RecordPush(p, srv.DB().Ctr())
+				}
+			}
+			return resp, err
+		}
+	}
 	// The saver runs beside live traffic: SaveP2 checkpoints the
 	// protocol state through its own ordered section (an O(1) fork of
 	// the copy-on-write database) and the content store snapshots under
@@ -217,8 +269,17 @@ func main() {
 	if persisting {
 		go func() {
 			for range time.Tick(*saveIvl) {
-				if err := saveState(*dataFile, srv, store, sessions); err != nil {
+				ctr, err := saveState(*dataFile, srv, store, sessions)
+				if err != nil {
 					log.Printf("persist: %v", err)
+					continue
+				}
+				// Journal epochs fully covered by the durable checkpoint
+				// are dead weight; drop them.
+				if journal != nil {
+					if err := journal.TruncateThrough(ctr); err != nil {
+						log.Printf("journal truncate: %v", err)
+					}
 				}
 			}
 		}()
@@ -237,12 +298,22 @@ func main() {
 		log.Printf("broadcast hub on %s", hub.Addr())
 	}
 
-	// Graceful shutdown: sever the transport FIRST (drain in-flight
-	// handlers, accept nothing new), THEN checkpoint. The other order
-	// would let an operation be acknowledged after the checkpoint was
-	// cut; on restart that acked tail would be gone and every client's
-	// next sync would — correctly, but needlessly — raise a rollback
-	// alarm.
+	// Graceful shutdown, in dependency order:
+	//
+	//  1. Sever the transport (drain in-flight handlers, accept nothing
+	//     new) so no op is acknowledged past the cut.
+	//  2. Epoch mode: flush the audit pipeline's server half — every
+	//     pending witness commitment must be delivered before the
+	//     checkpoint, or a clean shutdown would leave the final epochs'
+	//     closure checks without a commitment to quorum against (the
+	//     unaudited tail the PR4-era drain→checkpoint path left behind).
+	//  3. Checkpoint, then truncate and close the op journal: the
+	//     snapshot now covers everything the journal holds, and Close
+	//     fsyncs whatever tail batching deferred.
+	//
+	// Any other order lets an acked or commitment-pending tail slip past
+	// the durable cut; on restart clients would — correctly, but
+	// needlessly — raise rollback or closure alarms.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	s := <-sigc
@@ -250,11 +321,29 @@ func main() {
 	if err := ts.Shutdown(5 * time.Second); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
+	if epochAudit && pub != nil {
+		pub.Flush()
+		log.Printf("witness commitments flushed")
+	}
 	if persisting {
-		if err := saveState(*dataFile, srv, store, sessions); err != nil {
+		ctr, err := saveState(*dataFile, srv, store, sessions)
+		if err != nil {
 			log.Fatalf("final checkpoint: %v", err)
 		}
-		log.Printf("state saved to %s", *dataFile)
+		log.Printf("state saved to %s (%d ops)", *dataFile, ctr)
+		if journal != nil {
+			if err := journal.TruncateThrough(ctr); err != nil {
+				log.Printf("journal truncate: %v", err)
+			}
+		}
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Printf("journal close: %v", err)
+		}
+		if err := journal.Err(); err != nil {
+			log.Printf("journal had degraded: %v", err)
+		}
 	}
 }
 
@@ -299,22 +388,25 @@ func runWitness(addr, name, peers string, gossipIvl time.Duration) {
 }
 
 // saveState persists the Protocol II server + store + session cache as
-// one crash-safe generation. The session freeze quiesces dispatch for
-// only as long as the O(1) state capture takes; encoding and disk I/O
-// run after traffic has resumed.
-func saveState(path string, srv server.Server, store *cvs.Store, sessions *transport.SessionTable) error {
+// one crash-safe generation and returns the checkpointed op counter
+// (the op-journal truncation horizon). The session freeze quiesces
+// dispatch for only as long as the O(1) state capture takes; encoding
+// and disk I/O run after traffic has resumed.
+func saveState(path string, srv server.Server, store *cvs.Store, sessions *transport.SessionTable) (uint64, error) {
 	var snap *server.P2Snapshot
+	var ctr uint64
 	var cerr error
 	sessions.Freeze(func(ss *transport.SessionsSnapshot) {
 		snap, cerr = server.CheckpointP2(srv, store)
 		if cerr == nil {
 			snap.Sessions = ss
+			ctr = srv.DB().Ctr() // quiesced: this IS the snapshot's counter
 		}
 	})
 	if cerr != nil {
-		return cerr
+		return 0, cerr
 	}
-	return server.WriteSnapshotFile(fault.OS, path, func(w io.Writer) error {
+	return ctr, server.WriteSnapshotFile(fault.OS, path, func(w io.Writer) error {
 		return server.EncodeP2Snapshot(w, snap)
 	})
 }

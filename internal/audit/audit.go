@@ -59,8 +59,10 @@ import (
 	"trustedcvs/internal/core"
 	"trustedcvs/internal/core/proto2"
 	"trustedcvs/internal/digest"
+	"trustedcvs/internal/fault"
 	"trustedcvs/internal/sig"
 	"trustedcvs/internal/vdb"
+	"trustedcvs/internal/wal"
 	"trustedcvs/internal/witness"
 )
 
@@ -90,6 +92,13 @@ type Report struct {
 	Epoch uint64
 	// Seal marks the client's final report: it has stopped operating.
 	Seal bool
+	// Retract withdraws this client's earlier seal: it crashed with a
+	// seal in flight (or already published) and has resumed operating
+	// from its journal, so the old "final" registers are final no more.
+	// The hub's FIFO total order makes the retraction land after the
+	// stale seal and before any report of the client's new life, at
+	// every subscriber alike. Only the snapshot's User field is used.
+	Retract bool
 	// Report is the register snapshot itself.
 	Report core.SyncReportII
 }
@@ -115,6 +124,17 @@ type Config struct {
 	// Chain arms the shared-path replay cache on User (single-tree
 	// users only; see proto2.EnableReplayChain).
 	Chain bool
+	// WALDir, when non-empty, arms the crash-durable pipeline: every
+	// record is checksummed and fsynced to a segmented journal in this
+	// directory before Submit returns, journal frames surviving a crash
+	// are re-verified on restart, and journal I/O failure degrades to
+	// per-op synchronous audit. See durable.go. When restarting, pass a
+	// User restored from LoadCursor's state so replay re-verifies from
+	// the right cut.
+	WALDir string
+	// WALFS is the filesystem the journal writes through (nil =
+	// fault.OS); tests interpose fault.FaultyFS crash schedules here.
+	WALFS fault.FS
 }
 
 // Auditor drains a bounded queue of Records on a background goroutine,
@@ -170,6 +190,22 @@ type Auditor struct {
 	highWater int
 	degraded  uint64
 	noQuorum  uint64
+
+	// Durability state (durable.go). degradedSync, recovering, walErr,
+	// and replayed are gate-guarded; the rest is worker-owned (cuts,
+	// sealState, lastCkpt) or set once before the worker starts.
+	wal          *wal.WAL
+	walDir       string
+	walFS        fault.FS
+	walErr       error
+	degradedSync bool
+	recovering   bool
+	replayed     uint64
+	replayQ      []Record
+	retract      bool
+	lastCkpt     int64
+	cuts         map[uint64][]byte
+	sealState    []byte
 }
 
 // New builds an Auditor and starts its background goroutine.
@@ -204,6 +240,7 @@ func New(cfg Config) (*Auditor, error) {
 		emitted:      -1,
 		maxEpoch:     -1,
 		completed:    -1,
+		lastCkpt:     -1,
 		reports:      make(map[uint64]map[sig.UserID]core.SyncReportII),
 		seals:        make(map[sig.UserID]core.SyncReportII),
 	}
@@ -211,8 +248,17 @@ func New(cfg Config) (*Auditor, error) {
 	if cfg.Chain {
 		a.user.EnableReplayChain()
 	}
+	if cfg.WALDir != "" {
+		if err := a.initDurable(cfg.WALDir, cfg.WALFS); err != nil {
+			return nil, err
+		}
+	}
 	a.wg.Add(1)
 	go a.run()
+	if a.recovering {
+		a.wg.Add(1)
+		go a.feedRecovery()
+	}
 	return a, nil
 }
 
@@ -287,12 +333,37 @@ func (a *Auditor) WaitAdmissible() error {
 	return nil
 }
 
-// Submit queues one record for audit, in the client's operation order.
-// It never drops: when the queue is full it counts a degradation and
-// blocks until the auditor catches up (throughput falls back to the
-// synchronous rate). Returns the terminal failure, if any, so the hot
-// path stops issuing promptly.
+// Submit queues one record for audit, in the client's operation order
+// (callers serialize their own Submits; the driver's client lock
+// already does). It never drops: when the queue is full it counts a
+// degradation and blocks until the auditor catches up (throughput
+// falls back to the synchronous rate). With a journal configured the
+// record is durable on disk before Submit returns — or, if the
+// journal has failed, Submit blocks until the record has actually
+// been verified (degrade-to-sync). Returns the terminal failure, if
+// any, so the hot path stops issuing promptly.
 func (a *Auditor) Submit(rec Record) error {
+	a.lockGate()
+	a.waitRecoveredLocked()
+	if a.failed != nil {
+		err := a.failed
+		a.unlockGate()
+		return err
+	}
+	if a.closed {
+		a.unlockGate()
+		return ErrClosed
+	}
+	syncBarrier := a.degradedSync
+	a.unlockGate()
+
+	if a.wal != nil && !syncBarrier {
+		if err := a.walAppend(rec); err != nil {
+			a.noteWALFailure(err)
+			syncBarrier = true
+		}
+	}
+
 	a.lockGate()
 	if a.failed != nil {
 		err := a.failed
@@ -309,20 +380,28 @@ func (a *Auditor) Submit(rec Record) error {
 	}
 	a.unlockGate()
 
+	queued := false
 	select {
 	case a.ch <- rec:
-		return nil
+		queued = true
 	default:
 	}
-	a.lockGate()
-	a.degraded++
-	a.unlockGate()
-	select {
-	case a.ch <- rec:
-		return nil
-	case <-a.done:
-		return ErrClosed
+	if !queued {
+		a.lockGate()
+		a.degraded++
+		a.unlockGate()
+		select {
+		case a.ch <- rec:
+		case <-a.done:
+			return ErrClosed
+		}
 	}
+	if !syncBarrier {
+		return nil
+	}
+	// The record never reached the journal: hold the answer back until
+	// it has been verified, restoring the synchronous per-op barrier.
+	return a.waitProcessed()
 }
 
 // Seal publishes this client's final registers: it has stopped
@@ -337,6 +416,7 @@ func (a *Auditor) Submit(rec Record) error {
 // a sync-barrier round in the underlying protocol.
 func (a *Auditor) Seal() {
 	a.lockGate()
+	a.waitRecoveredLocked()
 	if a.sealSent || a.closed {
 		a.unlockGate()
 		return
@@ -386,6 +466,11 @@ type Stats struct {
 	// verifications (both 0 unless Config.Chain).
 	ChainHits   uint64
 	ChainMisses uint64
+	// Durability is the crash-durability mode (volatile / wal /
+	// degraded-sync); Replayed counts obligations re-verified from the
+	// journal after a restart.
+	Durability DurabilityState
+	Replayed   uint64
 }
 
 // Stats returns a snapshot of the auditor's counters. The chain
@@ -395,12 +480,20 @@ func (a *Auditor) Stats() Stats {
 	a.lockGate()
 	defer a.unlockGate()
 	hits, misses := a.user.ChainStats()
+	dur := DurabilityVolatile
+	switch {
+	case a.degradedSync:
+		dur = DurabilityDegradedSync
+	case a.wal != nil:
+		dur = DurabilityWAL
+	}
 	return Stats{
 		Submitted: a.submitted, Audited: a.audited,
 		Batches: a.batches, MaxBatch: a.maxBatch,
 		QueueCap: cap(a.ch), HighWater: a.highWater, Degraded: a.degraded,
 		Epochs:    uint64(a.completed + 1),
 		ChainHits: hits, ChainMisses: misses,
+		Durability: dur, Replayed: a.replayed,
 	}
 }
 
@@ -456,11 +549,22 @@ func (a *Auditor) Stop() {
 	a.unlockGate()
 	close(a.done)
 	a.wg.Wait()
+	a.closeDurable()
 }
 
 // run is the worker goroutine: it owns the user state machine.
 func (a *Auditor) run() {
 	defer a.wg.Done()
+	// A restarted client may have a seal from its previous life in the
+	// hub log; retract it before anything else this life publishes, so
+	// no peer runs the all-sealed closure against the stale cut. (A
+	// peer that completes its seal set in the window before the
+	// retraction lands is the unavoidable distributed race — the
+	// crashed client cannot announce its survival any earlier than its
+	// first post-recovery publish.)
+	if a.retract {
+		a.publishReport(Report{Retract: true, Report: a.user.SyncReport()})
+	}
 	var obs []witness.Observation
 	for {
 		var rec Record
@@ -493,7 +597,11 @@ func (a *Auditor) run() {
 		if len(batch) > a.maxBatch {
 			a.maxBatch = len(batch)
 		}
+		// Degrade-to-sync submitters block until their record has been
+		// audited; wake them per batch.
+		a.cond.Broadcast()
 		a.unlockGate()
+		a.maybeCheckpoint()
 	}
 }
 
@@ -507,24 +615,18 @@ func (a *Auditor) process(r Record, obs *[]witness.Observation) {
 		return // keep draining so blocked submitters unblock
 	}
 	if r.seal {
+		a.stashSeal()
 		a.publishReport(Report{Seal: true, Report: a.user.SyncReport()})
 		return
 	}
-	var g uint64
-	switch {
-	case r.CrossResp != nil:
-		g = r.CrossResp.GCtr
-	case a.forest:
-		g = r.Resp.GCtr
-	default:
-		g = r.Resp.Ctr + 1
-	}
+	g := a.claimedG(r)
 	// First record past a boundary: snapshot BEFORE absorbing it, so
 	// the registers cover exactly the counter prefix each boundary
 	// names. A client that skipped whole epochs emits one (identical)
 	// snapshot per skipped boundary — it performed no operations there.
 	e := int64(a.epochOf(g))
 	for ep := a.emitted + 1; ep < e; ep++ {
+		a.stashCut(uint64(ep))
 		a.publishReport(Report{Epoch: uint64(ep), Report: a.user.SyncReport()})
 	}
 	if e > a.emitted {
@@ -560,11 +662,25 @@ func (a *Auditor) SubmitReport(r Report) {
 	a.lockGate()
 	defer a.unlockGate()
 	from := r.Report.User
+	if r.Retract {
+		// The sender outlived its seal (crash + journal recovery); its
+		// stale final registers must not stand in for epochs its new
+		// life keeps folding. It will re-seal on its own schedule.
+		delete(a.seals, from)
+		return
+	}
 	if r.Seal {
 		if _, ok := a.seals[from]; !ok {
 			a.seals[from] = r.Report
 		}
 	} else {
+		if int64(r.Epoch) <= a.completed {
+			// Already durably closed. A restarted client's fresh hub
+			// session replays the entire report history; reports for
+			// epochs at or below the recovery cursor would otherwise
+			// pile up here forever.
+			return
+		}
 		m := a.reports[r.Epoch]
 		if m == nil {
 			m = make(map[sig.UserID]core.SyncReportII, a.users)

@@ -1,0 +1,357 @@
+// Durable audit pipeline: the WAL-backed half of the auditor.
+//
+// The epoch auditor's queue is the only copy of every unverified
+// obligation, so a crash silently un-audits operations whose answers
+// were already delivered — the exact trust gap the synchronous barrier
+// existed to close. With a journal directory configured, Submit
+// appends each record to a checksummed segmented WAL (internal/wal)
+// and makes it durable BEFORE the optimistic answer is released; on
+// restart the journal is replayed from the last durable cursor and
+// every surviving obligation is re-verified, so the exposure window
+// provably closes across the crash. If a tampered response was
+// answered optimistically and the process died before verification,
+// the tampered bytes are already on disk and recovery convicts the
+// server anyway.
+//
+// The durable cursor pairs the highest closed epoch with the user's
+// marshaled protocol state at that epoch's boundary cut. Replay
+// restores the user to the cut and re-runs verification of every
+// frame past it — byte-for-byte the same checks, so recovery can
+// neither miss a deviation nor invent one. Because closure of an
+// epoch needs this client's own boundary report, a cursor at epoch E
+// implies that report reached the broadcast hub before the crash; a
+// restarted client therefore resumes with a fresh hub session whose
+// full-history replay re-delivers every peer report it needs
+// (broadcast.DialHubResume). The in-process Hub keeps no history, so
+// durable recovery requires the TCP hub.
+//
+// On any journal I/O error the auditor flips to degrade-to-sync:
+// records are still verified — Submit blocks until its record has
+// been audited, restoring the synchronous per-op barrier — but
+// nothing is silently lost. The transition is sticky and visible as
+// DurabilityDegradedSync in Stats.
+package audit
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"trustedcvs/internal/fault"
+	"trustedcvs/internal/wal"
+)
+
+// DurabilityState is the auditor's crash-durability mode, exposed via
+// Stats.
+type DurabilityState int
+
+const (
+	// DurabilityVolatile: no journal configured; queued records do not
+	// survive a crash (the pre-WAL behavior).
+	DurabilityVolatile DurabilityState = iota
+	// DurabilityWAL: every record is checksummed and fsynced to the
+	// journal before its optimistic answer is released.
+	DurabilityWAL
+	// DurabilityDegradedSync: the journal failed; Submit now blocks
+	// until its record has been verified — per-operation synchronous
+	// audit, never silent loss.
+	DurabilityDegradedSync
+)
+
+func (d DurabilityState) String() string {
+	switch d {
+	case DurabilityWAL:
+		return "wal"
+	case DurabilityDegradedSync:
+		return "degraded-sync"
+	default:
+		return "volatile"
+	}
+}
+
+// Cursor is the durable resume point of an audit journal: the highest
+// epoch whose closure check passed before it was written, and the
+// user's marshaled protocol state at that epoch's boundary cut.
+type Cursor struct {
+	Epoch int64
+	State []byte
+}
+
+// LoadCursor reads the audit journal's cursor at dir. A nil Cursor
+// with nil error means no cursor has ever been written (fresh
+// journal). Callers restore the user from Cursor.State before
+// constructing the Auditor so replay re-verifies from the right cut.
+func LoadCursor(dir string) (*Cursor, error) {
+	payload, ok, err := wal.ReadCursor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	var cur Cursor
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&cur); err != nil {
+		return nil, fmt.Errorf("audit: decode cursor: %w", err)
+	}
+	return &cur, nil
+}
+
+// encodeRecord renders one obligation for the journal. Seals are never
+// journaled: a restarted client re-seals on its own schedule.
+func encodeRecord(r Record) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&r); err != nil {
+		return nil, fmt.Errorf("audit: encode record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeRecord(b []byte) (Record, error) {
+	var r Record
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r); err != nil {
+		return Record{}, fmt.Errorf("audit: decode journaled record: %w", err)
+	}
+	return r, nil
+}
+
+// AppendRaw appends one obligation frame to the journal at dir exactly
+// as a live auditor's Submit would, without an Auditor attached —
+// crash-harness support for planting a record "between" answer release
+// and verification, the race a real crash loses. epoch is the 0-based
+// audit epoch the record's claimed counter lands in.
+func AppendRaw(dir string, rec Record, epoch uint64) error {
+	payload, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	w, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		return err
+	}
+	if err := w.Append(epoch, payload); err != nil {
+		_ = w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// claimedG extracts the record's claimed post-operation global counter
+// — untrusted, but a lie only mislabels the journal frame's epoch and
+// is convicted by verification either way.
+func (a *Auditor) claimedG(r Record) uint64 {
+	switch {
+	case r.CrossResp != nil:
+		return r.CrossResp.GCtr
+	case a.forest:
+		return r.Resp.GCtr
+	default:
+		return r.Resp.Ctr + 1
+	}
+}
+
+// initDurable arms the journal: load the cursor, decode every frame
+// past it for re-verification, repair and reopen the journal for
+// appending. Called from New before the worker starts.
+func (a *Auditor) initDurable(dir string, fs fault.FS) error {
+	cur, err := LoadCursor(dir)
+	if err != nil {
+		return err
+	}
+	ckpt := int64(-1)
+	if cur != nil {
+		ckpt = cur.Epoch
+		a.emitted = cur.Epoch
+		a.maxEpoch = cur.Epoch
+		a.completed = cur.Epoch
+	}
+	var pending []Record
+	err = wal.Replay(dir, func(fr wal.Record) error {
+		if int64(fr.Epoch) <= ckpt {
+			return nil // durably closed before the crash
+		}
+		rec, err := decodeRecord(fr.Payload)
+		if err != nil {
+			return err
+		}
+		pending = append(pending, rec)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w, err := wal.Open(wal.Options{Dir: dir, FS: fs})
+	if err != nil {
+		return err
+	}
+	a.wal = w
+	a.walDir = dir
+	a.walFS = fs
+	a.lastCkpt = ckpt
+	a.cuts = make(map[uint64][]byte)
+	a.replayQ = pending
+	a.recovering = len(pending) > 0
+	// Any restart (a cursor or surviving frames) may have left a now-
+	// stale seal in the hub log; the worker retracts it first thing.
+	a.retract = cur != nil || len(pending) > 0
+	return nil
+}
+
+// feedRecovery re-submits every journaled obligation that survived the
+// crash, in journal order, ahead of any live Submit (which blocks on
+// the recovering flag — order is what makes the counter checks
+// replayable). Runs on its own goroutine.
+func (a *Auditor) feedRecovery() {
+	defer a.wg.Done()
+	for _, rec := range a.replayQ {
+		a.lockGate()
+		a.submitted++
+		a.replayed++
+		a.unlockGate()
+		select {
+		case a.ch <- rec:
+		case <-a.done:
+			return
+		}
+	}
+	a.replayQ = nil
+	a.lockGate()
+	a.recovering = false
+	a.cond.Broadcast()
+	a.unlockGate()
+}
+
+// walAppend journals one record before its answer is released; the
+// frame is durable when it returns nil.
+func (a *Auditor) walAppend(rec Record) error {
+	payload, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	return a.wal.Append(a.epochOf(a.claimedG(rec)), payload)
+}
+
+// noteWALFailure flips the sticky degrade-to-sync state.
+func (a *Auditor) noteWALFailure(err error) {
+	a.lockGate()
+	defer a.unlockGate()
+	if !a.degradedSync {
+		a.degradedSync = true
+		a.walErr = err
+	}
+}
+
+// waitRecoveredLocked holds Submit and Seal callers back until the
+// recovery feeder has re-queued every journaled obligation. Caller
+// holds the gate.
+func (a *Auditor) waitRecoveredLocked() {
+	for a.recovering && a.failed == nil && !a.closed {
+		a.cond.Wait()
+	}
+}
+
+// waitProcessed blocks until the auditor has drained everything
+// submitted so far — the degrade-to-sync barrier: a record that could
+// not be journaled must be verified before its answer is released.
+func (a *Auditor) waitProcessed() error {
+	a.lockGate()
+	defer a.unlockGate()
+	for a.failed == nil && !a.closed && a.audited < a.submitted {
+		a.cond.Wait()
+	}
+	if a.failed != nil {
+		return a.failed
+	}
+	if a.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// stashCut records the user's marshaled state at the boundary cut
+// closing epoch ep, so the checkpointer can pair it with the epoch
+// once its closure check passes. Worker-owned state, no locks.
+func (a *Auditor) stashCut(ep uint64) {
+	if a.wal == nil {
+		return
+	}
+	st, err := a.user.MarshalState()
+	if err != nil {
+		a.fail(fmt.Errorf("audit: marshal boundary state: %w", err))
+		return
+	}
+	a.cuts[ep] = st
+}
+
+// stashSeal records the user's final state; it stands in for the cut
+// of every epoch the sealed client never crossed.
+func (a *Auditor) stashSeal() {
+	if a.wal == nil {
+		return
+	}
+	st, err := a.user.MarshalState()
+	if err != nil {
+		a.fail(fmt.Errorf("audit: marshal seal state: %w", err))
+		return
+	}
+	a.sealState = st
+}
+
+// maybeCheckpoint advances the durable cursor to the newest closed
+// epoch and truncates the journal segments it covers. Runs on the
+// worker between batches (and once more at Stop), never inside the
+// gate: cursor and segment I/O are too slow for a critical section.
+func (a *Auditor) maybeCheckpoint() {
+	if a.wal == nil {
+		return
+	}
+	a.lockGate()
+	target := a.completed
+	degraded := a.degradedSync
+	a.unlockGate()
+	if target <= a.lastCkpt || degraded {
+		return
+	}
+	state, ok := a.cuts[uint64(target)]
+	if !ok {
+		// Closure came from this client's seal standing in for epochs
+		// it never crossed; the seal state IS the cut state for all of
+		// them.
+		state = a.sealState
+	}
+	if state == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&Cursor{Epoch: target, State: state}); err != nil {
+		a.noteWALFailure(fmt.Errorf("audit: encode cursor: %w", err))
+		return
+	}
+	if err := wal.WriteCursor(a.walFS, a.walDir, buf.Bytes()); err != nil {
+		a.noteWALFailure(err)
+		return
+	}
+	// Frames of epochs <= target are covered by the cursor; drop their
+	// segments. A crash between cursor write and unlink leaves stale
+	// frames that replay skips by epoch — harmless.
+	if err := a.wal.TruncateThrough(uint64(target)); err != nil && !errors.Is(err, wal.ErrClosed) {
+		a.noteWALFailure(err)
+	}
+	for ep := range a.cuts {
+		if int64(ep) <= target {
+			delete(a.cuts, ep)
+		}
+	}
+	a.lastCkpt = target
+}
+
+// closeDurable finalizes the journal at Stop: one last checkpoint
+// (the worker is quiesced, so worker-owned state is safe to touch)
+// and a clean close.
+func (a *Auditor) closeDurable() {
+	if a.wal == nil {
+		return
+	}
+	a.maybeCheckpoint()
+	_ = a.wal.Close()
+}

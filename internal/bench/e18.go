@@ -1,0 +1,463 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"trustedcvs/internal/adversary"
+	"trustedcvs/internal/audit"
+	"trustedcvs/internal/backoff"
+	"trustedcvs/internal/broadcast"
+	"trustedcvs/internal/core"
+	"trustedcvs/internal/core/proto2"
+	"trustedcvs/internal/cvs"
+	"trustedcvs/internal/driver"
+	"trustedcvs/internal/fault"
+	"trustedcvs/internal/server"
+	"trustedcvs/internal/sig"
+	"trustedcvs/internal/transport"
+	"trustedcvs/internal/vdb"
+	"trustedcvs/internal/wal"
+)
+
+// E18 is the crash matrix for the durable audit pipeline: epoch-audit
+// clients journaling every obligation (driver.NewP2EpochWAL) are
+// killed at four points of the epoch lifecycle — mid-epoch,
+// exactly at an epoch boundary, with a seal in flight, and during a
+// post-checkpoint journal truncation (a fault-scheduled crash between
+// the cursor write and the segment unlink) — each in an honest run and
+// in a tamper-before-crash run where the server corrupts an answer
+// whose optimistic release beats the crash, so the tampered bytes
+// exist only in the victim's journal. Three claims are under test:
+//
+//  1. Conviction survives the crash: every tampered cell must convict
+//     after recovery, from journal replay alone — the exposure window
+//     closes across the restart.
+//  2. Zero loss, zero noise: every honest cell must replay exactly the
+//     obligations the kill left unverified (replayed == journaled past
+//     the cursor — nothing submitted is lost), finish its workload,
+//     seal, and close every epoch with zero false alarms.
+//  3. Recovery is bounded: replay re-verification finishes within the
+//     budget, not proportional to pre-crash history (the cursor
+//     truncates what closed epochs already covered).
+//
+// The tamper-before-crash cells plant the record the way a real crash
+// loses the race: the (adversarial) server tampers the answer of one
+// extra transport call, and the record is appended to the dead
+// client's journal exactly as its Submit would have — answer released,
+// auditor never ran. The live auditor path cannot lose this race
+// deterministically (its worker races the kill), so the cell pins the
+// worst case by construction.
+
+// E18Config parameterizes RunE18.
+type E18Config struct {
+	// EpochLen is the audit epoch length in global operations.
+	EpochLen uint64
+	// ReplayBudget bounds each cell's recovery: restart-to-reverified
+	// (honest) or restart-to-conviction (tampered).
+	ReplayBudget time.Duration
+}
+
+// DefaultE18Config is what cmd/tcvs-bench runs.
+func DefaultE18Config() E18Config {
+	return E18Config{EpochLen: 8, ReplayBudget: 30 * time.Second}
+}
+
+// E18Cell is one (crash point, tampered?) cell of the matrix.
+type E18Cell struct {
+	CrashPoint string `json:"crash_point"`
+	Tampered   bool   `json:"tampered"`
+	// TriggerOp is the global op whose answer the server tampered
+	// (tampered cells only).
+	TriggerOp uint64 `json:"trigger_op,omitempty"`
+	// SubmittedAtKill counts obligations whose answers were released
+	// before the kill, summed over both clients.
+	SubmittedAtKill uint64 `json:"submitted_at_kill"`
+	// CursorEpochs records each client's durable cursor at the kill
+	// (-1 = no epoch durably closed).
+	CursorEpochs []int64 `json:"cursor_epochs"`
+	// ExpectedReplay counts journal frames past the cursors — the
+	// obligations recovery must re-verify; Replayed is what the
+	// restarted auditors actually replayed.
+	ExpectedReplay int    `json:"expected_replay"`
+	Replayed       uint64 `json:"replayed"`
+	ZeroLoss       bool   `json:"zero_loss"`
+	// ReplayMillis is restart-to-reverified (honest) or
+	// restart-to-conviction (tampered).
+	ReplayMillis float64 `json:"replay_ms"`
+	Detected     bool    `json:"detected,omitempty"`
+	Class        string  `json:"class,omitempty"`
+	FailEpoch    uint64  `json:"fail_epoch,omitempty"`
+	// Degraded reports the degrade-to-sync flip (during-truncate: the
+	// fault-scheduled remove crash must flip it).
+	Degraded    bool `json:"degraded,omitempty"`
+	FalseAlarms int  `json:"false_alarms"`
+}
+
+// E18Data is the full matrix, serialized to BENCH_E18.json.
+type E18Data struct {
+	Users                int       `json:"users"`
+	EpochLen             uint64    `json:"epoch_len"`
+	ReplayBudgetMillis   float64   `json:"replay_budget_ms"`
+	Cells                []E18Cell `json:"cells"`
+	AllTamperedConvicted bool      `json:"all_tampered_convicted"`
+	ZeroLoss             bool      `json:"zero_loss"`
+	FalseAlarms          int       `json:"false_alarms"`
+	MaxReplayMillis      float64   `json:"max_replay_ms"`
+}
+
+// WriteJSON writes the result in the checked-in BENCH_E18.json format.
+func (d *E18Data) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// e18Point is one crash point's choreography.
+type e18Point struct {
+	name    string
+	preOps  int  // sequential global ops before the kill
+	postOps int  // ops after restart (honest cells)
+	sealOne bool // put client 0's seal in flight before the kill
+	truncFS bool // fault-schedule a crash at the first journal unlink
+}
+
+func e18Points(epochLen uint64) []e18Point {
+	n := int(epochLen)
+	return []e18Point{
+		// Epoch 0 closed, half of epoch 1's obligations only in journals.
+		{name: "mid-epoch", preOps: n + n/2, postOps: 4},
+		// Killed exactly on epoch 1's last op: a full epoch of
+		// obligations journaled but unclosable until after restart.
+		{name: "at-boundary", preOps: 2 * n, postOps: 4},
+		// Client 0's seal is in flight when both die; seals are never
+		// journaled, so recovery must re-seal on its own schedule.
+		{name: "during-seal", preOps: n + 2, postOps: 2, sealOne: true},
+		// The checkpoint wrote its cursor, then the segment unlink hit a
+		// scheduled crash: stale-but-checksummed frames survive for
+		// replay to skip, and the auditor must flip to degrade-to-sync.
+		{name: "during-truncate", preOps: n + 2, postOps: 4, truncFS: true},
+	}
+}
+
+// e18AwaitEpochs polls until the client's auditor has closed n epochs.
+func e18AwaitEpochs(dc *driver.Client, n uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	poll := backoff.Poll(time.Millisecond)
+	for dc.Audit().Completed() < n {
+		if err := dc.Err(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("E18: %d/%d epochs closed before deadline", dc.Audit().Completed(), n)
+		}
+		poll.Sleep()
+	}
+	return nil
+}
+
+// e18ExpectedReplay reads one dead client's journal the way recovery
+// will: its durable cursor plus every frame past it.
+func e18ExpectedReplay(dir string) (cursor int64, frames int, err error) {
+	cur, err := audit.LoadCursor(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	cursor = -1
+	if cur != nil {
+		cursor = cur.Epoch
+	}
+	err = wal.Replay(dir, func(fr wal.Record) error {
+		if int64(fr.Epoch) > cursor {
+			frames++
+		}
+		return nil
+	})
+	return cursor, frames, err
+}
+
+// e18Plant issues one extra transport call — whose answer the
+// adversary tampers — and appends the obligation to the dead client's
+// journal exactly as its Submit would have: the answer was released,
+// the crash won the race to the auditor.
+func e18Plant(addr, dir string, g, epochLen uint64) error {
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return err
+	}
+	op := &vdb.WriteOp{Puts: []vdb.KV{{Key: "e18-planted", Val: []byte("v")}}}
+	raw, err := conn.Call(&core.OpRequest{User: 0, Op: op})
+	if err != nil {
+		return err
+	}
+	resp, ok := raw.(*core.OpResponseII)
+	if !ok {
+		return fmt.Errorf("E18: bad planted response type %T", raw)
+	}
+	if want := g - 1; resp.Ctr != want {
+		return fmt.Errorf("E18: planted op landed on ctr %d, want %d", resp.Ctr, want)
+	}
+	return audit.AppendRaw(dir, audit.Record{Op: op, Resp: resp}, (g-1)/epochLen)
+}
+
+// e18Cell runs one cell of the matrix.
+func e18Cell(pt e18Point, tampered bool, cfg E18Config) (E18Cell, error) {
+	const users = 2
+	epochLen := cfg.EpochLen
+	cell := E18Cell{CrashPoint: pt.name, Tampered: tampered}
+
+	root, err := os.MkdirTemp("", "tcvs-e18-")
+	if err != nil {
+		return cell, err
+	}
+	defer os.RemoveAll(root)
+	userDir := func(i int) string { return filepath.Join(root, fmt.Sprintf("user-%d", i)) }
+
+	db := vdb.New(0)
+	var srv server.Server = server.NewP2(db)
+	plantG := uint64(pt.preOps) + 1
+	if tampered {
+		cell.TriggerOp = plantG
+		srv = adversary.Wrap(srv, adversary.Config{Kind: adversary.TamperAnswer, TriggerOp: plantG})
+	}
+	ts, err := transport.ListenOpts("127.0.0.1:0", driver.NewHandler(srv, cvs.NewStore()),
+		transport.Options{IdleTimeout: -1})
+	if err != nil {
+		return cell, err
+	}
+	defer ts.Close()
+	hub, err := broadcast.ListenHub("127.0.0.1:0")
+	if err != nil {
+		return cell, err
+	}
+	defer hub.Close()
+
+	var ffs *fault.FaultyFS
+	if pt.truncFS {
+		ffs = &fault.FaultyFS{CrashAtRemove: 1}
+	}
+	// start dials a client; faulty routes its journal through the
+	// fault-scheduled filesystem (first incarnation only — the restart
+	// gets a healthy disk, as after a real reboot).
+	start := func(i int, faulty bool) (*driver.Client, error) {
+		conn, err := transport.Dial(ts.Addr())
+		if err != nil {
+			return nil, err
+		}
+		var fs fault.FS
+		if faulty && i == 0 {
+			fs = ffs
+		}
+		u := proto2.NewUser(sig.UserID(i), db.Root(), 1<<62)
+		return driver.NewP2EpochWAL(u, conn, broadcast.DialHubResume(hub.Addr()),
+			users, epochLen, 0, userDir(i), fs)
+	}
+
+	// Phase 1: the doomed deployment. Sequential alternating ops keep
+	// the global counter assignment deterministic.
+	cs := make([]*driver.Client, users)
+	for i := range cs {
+		if cs[i], err = start(i, pt.truncFS); err != nil {
+			return cell, err
+		}
+	}
+	for j := 0; j < pt.preOps; j++ {
+		if _, err := cs[j%users].Do(&vdb.WriteOp{Puts: []vdb.KV{{Key: fmt.Sprintf("e18-%d", j), Val: []byte("v")}}}); err != nil {
+			return cell, fmt.Errorf("E18 %s pre-op %d: %w", pt.name, j, err)
+		}
+	}
+	for _, dc := range cs {
+		if err := e18AwaitEpochs(dc, 1, 30*time.Second); err != nil {
+			return cell, fmt.Errorf("E18 %s: %w", pt.name, err)
+		}
+		if err := dc.WaitAudited(30 * time.Second); err != nil {
+			return cell, fmt.Errorf("E18 %s drain: %w", pt.name, err)
+		}
+	}
+	if pt.sealOne {
+		cs[0].Seal() // in flight at the kill; never journaled
+	}
+	for _, dc := range cs {
+		if dc.Err() != nil {
+			cell.FalseAlarms++
+		}
+		cell.SubmittedAtKill += dc.Audit().Stats().Submitted
+	}
+	// Kill. Stop drops the unverified queue on the floor — the journal
+	// is the only survivor, exactly as in a real crash.
+	for _, dc := range cs {
+		dc.Close()
+	}
+	if pt.truncFS {
+		if !ffs.Crashed() {
+			return cell, fmt.Errorf("E18 %s: scheduled truncation crash never fired", pt.name)
+		}
+		cell.Degraded = cs[0].Audit().Stats().Durability == audit.DurabilityDegradedSync
+		if !cell.Degraded {
+			return cell, fmt.Errorf("E18 %s: journal death did not flip degrade-to-sync", pt.name)
+		}
+	}
+	if tampered {
+		if err := e18Plant(ts.Addr(), userDir(0), plantG, epochLen); err != nil {
+			return cell, fmt.Errorf("E18 %s plant: %w", pt.name, err)
+		}
+	}
+	for i := 0; i < users; i++ {
+		cur, frames, err := e18ExpectedReplay(userDir(i))
+		if err != nil {
+			return cell, fmt.Errorf("E18 %s journal %d: %w", pt.name, i, err)
+		}
+		cell.CursorEpochs = append(cell.CursorEpochs, cur)
+		cell.ExpectedReplay += frames
+	}
+
+	// Phase 2: recovery.
+	t0 := time.Now()
+	if tampered {
+		// Only the victim restarts: conviction must come from its own
+		// journal replay, no peer help.
+		dc, err := start(0, false)
+		if err != nil {
+			return cell, fmt.Errorf("E18 %s restart: %w", pt.name, err)
+		}
+		defer dc.Close()
+		deadline := time.Now().Add(cfg.ReplayBudget)
+		poll := backoff.Poll(time.Millisecond)
+		for dc.Audit().Err() == nil {
+			if time.Now().After(deadline) {
+				return cell, fmt.Errorf("E18 %s: tampered record not convicted within the replay budget", pt.name)
+			}
+			poll.Sleep()
+		}
+		cell.ReplayMillis = float64(time.Since(t0)) / float64(time.Millisecond)
+		cell.Detected = true
+		var eaf *audit.EpochAuditFailure
+		if errors.As(dc.Audit().Err(), &eaf) {
+			cell.FailEpoch = eaf.Epoch
+		}
+		if de, ok := core.AsDetection(dc.Audit().Err()); ok {
+			cell.Class = de.Class.String()
+		}
+		cell.Replayed = dc.Audit().Stats().Replayed
+		cell.ZeroLoss = true // conviction supersedes the replay count
+		return cell, nil
+	}
+
+	// Honest: restart both, re-verify exactly the journaled tail, then
+	// finish the workload and close every epoch.
+	for i := range cs {
+		if cs[i], err = start(i, false); err != nil {
+			return cell, fmt.Errorf("E18 %s restart: %w", pt.name, err)
+		}
+	}
+	defer func() {
+		for _, dc := range cs {
+			dc.Close()
+		}
+	}()
+	deadline := time.Now().Add(cfg.ReplayBudget)
+	poll := backoff.Poll(time.Millisecond)
+	for {
+		var replayed uint64
+		for _, dc := range cs {
+			replayed += dc.Audit().Stats().Replayed
+		}
+		cell.Replayed = replayed
+		if replayed >= uint64(cell.ExpectedReplay) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return cell, fmt.Errorf("E18 %s: replayed %d of %d journaled obligations within the budget",
+				pt.name, replayed, cell.ExpectedReplay)
+		}
+		poll.Sleep()
+	}
+	for _, dc := range cs {
+		if err := dc.WaitAudited(cfg.ReplayBudget); err != nil {
+			cell.FalseAlarms++
+		}
+	}
+	cell.ReplayMillis = float64(time.Since(t0)) / float64(time.Millisecond)
+	cell.ZeroLoss = cell.Replayed == uint64(cell.ExpectedReplay)
+
+	for j := 0; j < pt.postOps; j++ {
+		if _, err := cs[j%users].Do(&vdb.WriteOp{Puts: []vdb.KV{{Key: fmt.Sprintf("e18-post-%d", j), Val: []byte("v")}}}); err != nil {
+			cell.FalseAlarms++
+			return cell, nil
+		}
+	}
+	for _, dc := range cs {
+		dc.Seal()
+	}
+	for _, dc := range cs {
+		if err := dc.WaitSealed(cfg.ReplayBudget); err != nil {
+			cell.FalseAlarms++
+		}
+	}
+	return cell, nil
+}
+
+// RunE18 runs the full crash matrix.
+func RunE18(cfg E18Config) (*E18Data, error) {
+	d := &E18Data{
+		Users: 2, EpochLen: cfg.EpochLen,
+		ReplayBudgetMillis:   float64(cfg.ReplayBudget) / float64(time.Millisecond),
+		AllTamperedConvicted: true, ZeroLoss: true,
+	}
+	for _, pt := range e18Points(cfg.EpochLen) {
+		for _, tampered := range []bool{false, true} {
+			cell, err := e18Cell(pt, tampered, cfg)
+			if err != nil {
+				return nil, err
+			}
+			d.Cells = append(d.Cells, cell)
+			d.FalseAlarms += cell.FalseAlarms
+			if tampered {
+				d.AllTamperedConvicted = d.AllTamperedConvicted && cell.Detected
+			} else {
+				d.ZeroLoss = d.ZeroLoss && cell.ZeroLoss
+			}
+			if cell.ReplayMillis > d.MaxReplayMillis {
+				d.MaxReplayMillis = cell.ReplayMillis
+			}
+		}
+	}
+	return d, nil
+}
+
+// E18 runs the matrix with the default configuration and renders it.
+func E18() *Table {
+	d, err := RunE18(DefaultE18Config())
+	if err != nil {
+		panic(err)
+	}
+	return d.Table()
+}
+
+// Table renders the data as the E18 exhibit.
+func (d *E18Data) Table() *Table {
+	t := &Table{
+		ID:       "E18",
+		Title:    "Crash-durable audit: WAL replay closes the exposure window across kill/restart",
+		PaperRef: "Section 2.2.1's detection guarantee held across crashes; AUDIT.md \"Durability & recovery\"",
+		Columns:  []string{"crash-point", "tampered", "submitted", "journaled-tail", "replayed", "zero-loss", "replay-ms", "convicted", "class", "alarms"},
+	}
+	for _, c := range d.Cells {
+		convicted := "-"
+		if c.Tampered {
+			convicted = boolMark(c.Detected)
+		}
+		t.AddRow(c.CrashPoint, boolMark(c.Tampered), c.SubmittedAtKill, c.ExpectedReplay, c.Replayed,
+			boolMark(c.ZeroLoss), fmt.Sprintf("%.0f", c.ReplayMillis), convicted, c.Class, c.FalseAlarms)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("every tamper-before-crash cell convicted from journal replay alone: %v; false alarms across all honest cells: %d", d.AllTamperedConvicted, d.FalseAlarms),
+		fmt.Sprintf("zero loss: restarted auditors replayed exactly the obligations journaled past the durable cursor in every honest cell: %v", d.ZeroLoss),
+		fmt.Sprintf("recovery bounded: max restart-to-reverified %4.0f ms against a %.0f ms budget; closed epochs are cursor-truncated, so replay scales with the open tail, not history", d.MaxReplayMillis, d.ReplayBudgetMillis))
+	return t
+}

@@ -1,0 +1,42 @@
+package bench
+
+import "testing"
+
+// TestRunE18CrashMatrix drives the full crash matrix: every
+// tamper-before-crash cell must convict from journal replay alone,
+// every honest cell must replay exactly the journaled tail (zero loss)
+// and finish with zero false alarms, and the during-truncate cells must
+// observe the degrade-to-sync flip. The matrix is already CI-sized
+// (2 users, 8-op epochs, 8 cells), so the test runs the default config.
+func TestRunE18CrashMatrix(t *testing.T) {
+	d, err := RunE18(DefaultE18Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(e18Points(d.EpochLen)); len(d.Cells) != want {
+		t.Fatalf("got %d cells, want %d", len(d.Cells), want)
+	}
+	if !d.AllTamperedConvicted {
+		t.Fatalf("a tampered cell escaped conviction: %+v", d.Cells)
+	}
+	if !d.ZeroLoss {
+		t.Fatalf("an honest cell lost journaled obligations: %+v", d.Cells)
+	}
+	if d.FalseAlarms != 0 {
+		t.Fatalf("%d false alarms across honest cells: %+v", d.FalseAlarms, d.Cells)
+	}
+	for _, c := range d.Cells {
+		if c.Tampered && c.Class == "" {
+			t.Errorf("%s: untyped conviction", c.CrashPoint)
+		}
+		if !c.Tampered && c.ExpectedReplay == 0 {
+			t.Errorf("%s: kill left no journaled tail — the cell exercises nothing", c.CrashPoint)
+		}
+		if c.CrashPoint == "during-truncate" && !c.Degraded {
+			t.Errorf("%s: degrade-to-sync not observed", c.CrashPoint)
+		}
+	}
+	if d.MaxReplayMillis <= 0 || d.MaxReplayMillis > d.ReplayBudgetMillis {
+		t.Fatalf("replay time out of bounds: %v ms against %v ms budget", d.MaxReplayMillis, d.ReplayBudgetMillis)
+	}
+}

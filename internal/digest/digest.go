@@ -72,6 +72,16 @@ const (
 	// deliberately distinct from DomainTaggedState so single-tree and
 	// forest chains can never be confused for one another.
 	DomainShardState byte = 0x0c
+	// DomainWALFrame is the per-frame integrity footer of the audit
+	// write-ahead log (internal/wal): h(epoch ‖ payload). A torn or
+	// rotted frame fails its footer on replay instead of resurrecting a
+	// corrupt verification obligation.
+	DomainWALFrame byte = 0x0d
+	// DomainWALCursor is the integrity footer over a WAL cursor file —
+	// the durable (completed epoch, user state) pair recovery resumes
+	// from. Distinct from DomainWALFrame so a frame can never be passed
+	// off as a cursor or vice versa.
+	DomainWALCursor byte = 0x0e
 )
 
 // Zero is the all-zero digest.

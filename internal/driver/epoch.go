@@ -10,6 +10,7 @@ import (
 	"trustedcvs/internal/broadcast"
 	"trustedcvs/internal/core"
 	"trustedcvs/internal/core/proto2"
+	"trustedcvs/internal/fault"
 	"trustedcvs/internal/server"
 	"trustedcvs/internal/transport"
 	"trustedcvs/internal/vdb"
@@ -37,6 +38,39 @@ func init() {
 // (0 = audit.DefaultQueue); when it fills, Do degrades to the audit
 // rate rather than dropping obligations.
 func NewP2Epoch(user *proto2.User, conn transport.Caller, bc broadcast.Channel, nUsers int, epochLen uint64, queue int) (*Client, error) {
+	return NewP2EpochWAL(user, conn, bc, nUsers, epochLen, queue, "", nil)
+}
+
+// NewP2EpochWAL is NewP2Epoch with a crash-durable audit journal: when
+// walDir is non-empty, every obligation is fsynced there before Do
+// releases its optimistic answer, and a restart resumes from the
+// journal's cursor — the user's protocol state is restored to the last
+// durably closed epoch's boundary cut and every journaled obligation
+// past it is re-verified, so the client re-demands audit closure
+// instead of trusting pre-crash optimistic answers. The passed user
+// supplies the identity on first start and is replaced by the restored
+// state on resume, so callers construct it identically either way.
+// Resume needs the TCP broadcast hub (its full-history replay
+// re-delivers peer epoch reports); the in-process Hub keeps no
+// history. fs overrides the journal's filesystem (nil = the real one).
+func NewP2EpochWAL(user *proto2.User, conn transport.Caller, bc broadcast.Channel, nUsers int, epochLen uint64, queue int, walDir string, fs fault.FS) (*Client, error) {
+	if walDir != "" {
+		cur, err := audit.LoadCursor(walDir)
+		if err != nil {
+			return nil, err
+		}
+		if cur != nil {
+			restored, err := proto2.RestoreUser(cur.State)
+			if err != nil {
+				return nil, fmt.Errorf("driver: restore audit cursor state: %w", err)
+			}
+			if restored.ID() != user.ID() {
+				return nil, fmt.Errorf("driver: audit journal %s belongs to user %d, not %d",
+					walDir, restored.ID(), user.ID())
+			}
+			user = restored
+		}
+	}
 	c := newClient(server.P2, conn, bc, nUsers)
 	c.u2 = user
 	c.id = user.ID()
@@ -50,7 +84,9 @@ func NewP2Epoch(user *proto2.User, conn transport.Caller, bc broadcast.Channel, 
 		},
 		// The replay chain only pays off on single-tree deployments;
 		// forest verification keeps per-shard state instead.
-		Chain: !user.Forest(),
+		Chain:  !user.Forest(),
+		WALDir: walDir,
+		WALFS:  fs,
 	})
 	if err != nil {
 		return nil, err

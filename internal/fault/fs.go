@@ -95,11 +95,22 @@ type FaultyFS struct {
 	// the page cache but was never made durable; the inner file is
 	// truncated to half to simulate the lost tail.
 	CrashAtSync uint64
+	// CrashAtCreate crashes the FS before the Nth Create — a WAL
+	// segment rotation that sealed the old segment but died before the
+	// new one existed.
+	CrashAtCreate uint64
+	// CrashAtRemove crashes the FS before the Nth Remove — a WAL
+	// truncation that died after the cursor was written but before the
+	// obsolete segments were unlinked, leaving stale-but-checksummed
+	// frames for recovery to skip.
+	CrashAtRemove uint64
 
 	mu      sync.Mutex
 	writes  uint64
 	renames uint64
 	syncs   uint64
+	creates uint64
+	removes uint64
 	crashed bool
 }
 
@@ -123,11 +134,21 @@ func (f *FaultyFS) inner() FS {
 	return OS
 }
 
-// Create opens a faulty file handle.
+// Create opens a faulty file handle unless this is the scheduled
+// crash point.
 func (f *FaultyFS) Create(name string) (File, error) {
-	if f.dead() {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
 		return nil, ErrCrashed
 	}
+	f.creates++
+	if f.CrashAtCreate != 0 && f.creates == f.CrashAtCreate {
+		f.crashed = true
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: before create %s", ErrCrashed, name)
+	}
+	f.mu.Unlock()
 	inner, err := f.inner().Create(name)
 	if err != nil {
 		return nil, err
@@ -152,11 +173,20 @@ func (f *FaultyFS) Rename(o, n string) error {
 	return f.inner().Rename(o, n)
 }
 
-// Remove removes unless crashed.
+// Remove removes unless crashed or this is the scheduled crash point.
 func (f *FaultyFS) Remove(name string) error {
-	if f.dead() {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
 		return ErrCrashed
 	}
+	f.removes++
+	if f.CrashAtRemove != 0 && f.removes == f.CrashAtRemove {
+		f.crashed = true
+		f.mu.Unlock()
+		return fmt.Errorf("%w: before remove %s", ErrCrashed, name)
+	}
+	f.mu.Unlock()
 	return f.inner().Remove(name)
 }
 

@@ -64,6 +64,7 @@ const (
 	nameSleepRetry     = "sleepretry"
 	nameVerifyFlow     = "verifyflow"
 	nameLockOrder      = "lockorder"
+	nameSyncDiscipline = "syncdiscipline"
 	nameDeadIgnore     = "deadignore"
 )
 
@@ -81,6 +82,7 @@ func Passes() []*Pass {
 		passSleepRetry,
 		passVerifyFlow,
 		passLockOrder,
+		passSyncDiscipline,
 		passDeadIgnore,
 	}
 }
@@ -96,6 +98,7 @@ var knownPassNames = map[string]bool{
 	nameSleepRetry:     true,
 	nameVerifyFlow:     true,
 	nameLockOrder:      true,
+	nameSyncDiscipline: true,
 	nameDeadIgnore:     true,
 }
 

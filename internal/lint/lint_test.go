@@ -46,6 +46,8 @@ func TestFixtureCorpus(t *testing.T) {
 		{"lockscope", "internal/vdb/lock.go", 22},              // gob Encode under defer-Unlock
 		{"lockscope", "internal/vdb/shard.go", 50},             // gob Encode under shard lock() wrapper
 		{"lockscope", "internal/vdb/shard.go", 66},             // gob Encode under forest lockAll() wrapper
+		{"syncdiscipline", "internal/wal/wal.go", 35},          // rename into place, no preceding fsync
+		{"syncdiscipline", "internal/wal/wal.go", 87},          // segment created in place, predecessor unsealed
 	}
 	got := Run(m, Passes())
 	for i := 0; i < len(got) || i < len(want); i++ {

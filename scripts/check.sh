@@ -9,9 +9,9 @@
 # wall-clock so a regressing pass is visible in CI logs), the whole
 # test suite under the race detector (the pipelined server hot path
 # and the fault/recovery suite — kill/restart, reconnect, resume — are
-# only trustworthy race-clean), and a fuzz smoke over the four
+# only trustworthy race-clean), and a fuzz smoke over the five
 # untrusted-input surfaces (wire frames, verification objects, diffs,
-# snapshot files read back from disk).
+# snapshot files and journal segments read back from disk).
 set -eux
 cd "$(dirname "$0")/.."
 
@@ -35,10 +35,14 @@ go test -race ./...
 # typed evidence, and the E16 scaling sweep shape — and the epoch
 # auditor: optimistic answers verified in batches, backpressure
 # degrading to sync instead of dropping, adversaries convicted within
-# one epoch (E17).
-go test -race -run 'Fault|Resilient|Resume|Recovery|Witness|E14|E15|Forest|Torn|E16|Audit|Epoch|E17' ./internal/fault ./internal/transport ./internal/broadcast ./internal/server ./internal/witness ./internal/bench ./internal/core/proto2 ./internal/audit ./internal/driver .
+# one epoch (E17) — and the crash-durability matrix: obligations
+# journaled before release, replayed through the verifier on reboot,
+# tamper-before-crash convicted, journal I/O failure degrading to
+# sync (E18).
+go test -race -run 'Fault|Resilient|Resume|Recovery|Witness|E14|E15|Forest|Torn|E16|Audit|Epoch|E17|WAL|E18' ./internal/fault ./internal/transport ./internal/broadcast ./internal/server ./internal/witness ./internal/bench ./internal/core/proto2 ./internal/audit ./internal/driver ./internal/wal .
 
 go test -run='^$' -fuzz='^FuzzFrameDecode$' -fuzztime=10s ./internal/wire
 go test -run='^$' -fuzz='^FuzzVOVerify$' -fuzztime=10s ./internal/merkle
 go test -run='^$' -fuzz='^FuzzDiffPatch$' -fuzztime=10s ./internal/diff
 go test -run='^$' -fuzz='^FuzzSnapshotLoad$' -fuzztime=10s ./internal/server
+go test -run='^$' -fuzz='^FuzzWALReplay$' -fuzztime=10s ./internal/wal

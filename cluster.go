@@ -85,6 +85,21 @@ type ClusterConfig struct {
 	// crash left unaudited. Requires AuditEpoch > 0 and Network mode
 	// (resume rides the TCP hub's full-history replay).
 	AuditWALRoot string
+	// Overload arms server-side overload protection: a bounded,
+	// priority-classed admission queue with an adaptive concurrency
+	// limit that sheds excess load with typed wire.ErrOverloaded before
+	// any protocol state is touched, plus deadline-aware dispatch that
+	// refuses work whose propagated budget has already expired. The
+	// zero AdmissionOptions selects the package defaults. Requires
+	// Network mode: the in-process transport calls handlers directly
+	// and never queues.
+	Overload *transport.AdmissionOptions
+	// Brownout lets each client's epoch auditor widen its admission
+	// window up to this many epochs under sustained audit backlog (see
+	// audit.Config.Brownout) — graceful degradation instead of hard
+	// blocking when verification cannot keep up. 0 or 1 disables;
+	// requires AuditEpoch > 0.
+	Brownout int
 }
 
 // Cluster is a ready-to-use deployment: an (optionally malicious)
@@ -138,6 +153,12 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.AuditWALRoot != "" && !cfg.Network {
 		return nil, fmt.Errorf("trustedcvs: AuditWALRoot requires Network mode (resume needs the TCP hub's history replay)")
+	}
+	if cfg.Overload != nil && !cfg.Network {
+		return nil, fmt.Errorf("trustedcvs: Overload requires Network mode (the in-process transport has no admission queue)")
+	}
+	if cfg.Brownout > 1 && cfg.AuditEpoch == 0 {
+		return nil, fmt.Errorf("trustedcvs: Brownout requires epoch-audit mode (AuditEpoch > 0)")
 	}
 	db := vdb.NewSharded(cfg.MerkleOrder, cfg.Shards)
 	signers, ring, err := sig.DeterministicSigners(cfg.Users, cfg.KeySeed)
@@ -206,12 +227,19 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 		srv = server.WithOpHook(srv, pub.OpApplied)
 		c.srv = srv
 	}
-	handler := driver.NewHandler(srv, cvs.NewStore())
+	store := cvs.NewStore()
+	handler := driver.NewHandler(srv, store)
 
 	dial := func() (transport.Caller, error) { return transport.NewInproc(handler), nil }
 	join := func() (broadcast.Channel, error) { return c.localHub().Join(), nil }
 	if cfg.Network {
-		ts, err := transport.Listen("127.0.0.1:0", handler)
+		var topts transport.Options
+		if cfg.Overload != nil {
+			topts.Admission = transport.NewAdmission(*cfg.Overload)
+			topts.Classify = driver.Classify
+			topts.HandlerDeadline = driver.NewDeadlineHandler(srv, store)
+		}
+		ts, err := transport.ListenOpts("127.0.0.1:0", handler, topts)
 		if err != nil {
 			return nil, err
 		}
@@ -276,6 +304,9 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 				if err != nil {
 					c.Close()
 					return nil, err
+				}
+				if cfg.Brownout > 1 {
+					dc.Audit().SetBrownout(cfg.Brownout)
 				}
 			} else {
 				dc = driver.NewP2(u, conn, bc, cfg.Users)
@@ -375,6 +406,16 @@ func (c *Cluster) AuditStats(i int) audit.Stats {
 // AdvanceEpoch moves a Protocol III server into the next epoch (the
 // cluster owner stands in for the wall-clock timer).
 func (c *Cluster) AdvanceEpoch() { c.srv.AdvanceEpoch() }
+
+// AdmissionStats snapshots the TCP server's admission controller
+// (zero stats when Overload is not configured or the cluster is
+// in-process).
+func (c *Cluster) AdmissionStats() transport.AdmissionStats {
+	if c.tcp == nil {
+		return transport.AdmissionStats{}
+	}
+	return c.tcp.AdmissionStats()
+}
 
 // Forensics pools every user's transition journal (ClusterConfig.
 // JournalCap must be set) and localizes the fault after a detection:

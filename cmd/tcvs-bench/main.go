@@ -12,6 +12,7 @@
 //	tcvs-bench -e E16     # Merkle forest scaling sweep; writes BENCH_E16.json
 //	tcvs-bench -e E17     # epoch-batched async audit; writes BENCH_E17.json
 //	tcvs-bench -e E18     # crash-durable audit matrix; writes BENCH_E18.json
+//	tcvs-bench -e E21     # overload protection sweep; writes BENCH_E21.json
 //
 // Experiments that record a BENCH_<ID>.json refuse to overwrite an
 // existing record unless -force is given: checked-in records are the
@@ -29,8 +30,8 @@ import (
 )
 
 func main() {
-	var e = flag.String("e", "all", "experiment to run: E1..E18 or all")
-	var out = flag.String("o", "", "output path for E13–E18's JSON record (default BENCH_<ID>.json)")
+	var e = flag.String("e", "all", "experiment to run: E1..E18, E21 or all")
+	var out = flag.String("o", "", "output path for E13–E21's JSON record (default BENCH_<ID>.json)")
 	var force = flag.Bool("force", false, "overwrite an existing BENCH_<ID>.json record")
 	flag.Parse()
 
@@ -42,7 +43,7 @@ func main() {
 	}
 	// E13–E18 run through their Run functions so the raw data can be
 	// recorded alongside the rendered table.
-	if *e == "E13" || *e == "E14" || *e == "E15" || *e == "E16" || *e == "E17" || *e == "E18" {
+	if *e == "E13" || *e == "E14" || *e == "E15" || *e == "E16" || *e == "E17" || *e == "E18" || *e == "E21" {
 		path := *out
 		if path == "" {
 			path = fmt.Sprintf("BENCH_%s.json", *e)
@@ -71,6 +72,8 @@ func main() {
 			d, err = bench.RunE16(bench.DefaultE16Config())
 		case "E17":
 			d, err = bench.RunE17(bench.DefaultE17Config())
+		case "E21":
+			d, err = bench.RunE21(bench.DefaultE21Config())
 		default:
 			d, err = bench.RunE18(bench.DefaultE18Config())
 		}
@@ -94,7 +97,7 @@ func main() {
 	}
 	run, ok := bench.ByID(*e)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E18 or all)\n", *e)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E18, E21 or all)\n", *e)
 		os.Exit(2)
 	}
 	run().Render(os.Stdout)

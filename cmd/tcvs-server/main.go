@@ -23,10 +23,12 @@ package main
 
 import (
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -75,6 +77,11 @@ func main() {
 		auditMode = flag.String("audit", "sync", "client audit mode this deployment is provisioned for: sync (per-op barrier) or epoch (async epoch-batched audit)")
 		epochLen  = flag.Uint64("epoch-len", 0, "epoch length in global operations (-audit epoch; clients must use the same value)")
 		auditWAL  = flag.String("audit-wal", "", "durable op journal directory (protocol 2, honest only): applied ops and accepted content pushes are journaled with epoch-batched fsync and replayed over the -data snapshot on start")
+
+		overload       = flag.Bool("overload", false, "arm overload protection: bounded priority admission queue, adaptive (AIMD) concurrency limit, typed sheds, deadline-aware dispatch")
+		overloadTarget = flag.Duration("overload-target", 0, "per-request latency target the adaptive limit steers toward (0 = package default)")
+		overloadQueue  = flag.Int("overload-queue", 0, "admission queue depth across all priority classes (0 = package default)")
+		statsAddr      = flag.String("stats-addr", "", "serve the operator debug endpoint (GET /debug/tcvs, expvar at /debug/vars) on this address")
 	)
 	flag.Parse()
 
@@ -284,18 +291,72 @@ func main() {
 			}
 		}()
 	}
-	ts, err := transport.ListenOpts(*addr, handler, transport.Options{Sessions: sessions})
+	topts := transport.Options{Sessions: sessions}
+	if *overload {
+		topts.Admission = transport.NewAdmission(transport.AdmissionOptions{
+			Target: *overloadTarget, QueueDepth: *overloadQueue,
+		})
+		topts.Classify = driver.Classify
+		// WrapDeadline sits atop the fully decorated handler chain
+		// (journal recorder included), so an expired request is refused
+		// before any layer of it runs.
+		topts.HandlerDeadline = driver.WrapDeadline(handler)
+		armed := topts.Admission.Options()
+		log.Printf("overload protection armed (target %v, queue %d, limit %d..%d)",
+			armed.Target, armed.QueueDepth, armed.MinLimit, armed.MaxLimit)
+	}
+	ts, err := transport.ListenOpts(*addr, handler, topts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("tcvs-server (%v) listening on %s", p, ts.Addr())
 
+	var hub *broadcast.HubServer
 	if *hubAddr != "" {
-		hub, err := broadcast.ListenHub(*hubAddr)
+		hub, err = broadcast.ListenHub(*hubAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("broadcast hub on %s", hub.Addr())
+	}
+
+	if *statsAddr != "" {
+		src := statsSources{EpochLen: *epochLen}
+		if topts.Admission != nil {
+			adm := topts.Admission
+			src.Admission = adm.Stats
+		}
+		if hub != nil {
+			src.Hub = func() (int, int, uint64, uint64) {
+				st := hub.Stats()
+				return st.Conns, st.LogLen, st.SlowFlips, st.Evictions
+			}
+		}
+		if pub != nil {
+			src.Lanes = pub.LaneStates
+			src.Fanout = pub.FanoutStats
+		}
+		src.WALMode = func() string {
+			switch {
+			case journal == nil:
+				return "none"
+			case journal.Err() != nil:
+				return "degraded"
+			default:
+				return "epoch-batched"
+			}
+		}
+		mux := newStatsMux(src)
+		// expvar publication happens exactly once, here: the same
+		// snapshot document rides the standard /debug/vars page.
+		expvar.Publish("tcvs", expvar.Func(func() any { return src.snapshot() }))
+		mux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			log.Printf("stats endpoint on http://%s/debug/tcvs", *statsAddr)
+			if err := (&http.Server{Addr: *statsAddr, Handler: mux}).ListenAndServe(); err != nil {
+				log.Printf("stats endpoint: %v", err)
+			}
+		}()
 	}
 
 	// Graceful shutdown, in dependency order:

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunE21Small runs the overload sweep at CI scale and pins the
+// mechanics rather than the headline ratios (which need the full
+// window to stabilize): shed operations are atomically refused, the
+// refusal ladder is ordered, the protected server out-delivers the
+// unprotected one at the top factor, and the adversary trial under
+// flood still convicts with zero false alarms on the honest control.
+func TestRunE21Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload sweep is seconds-long")
+	}
+	cfg := E21Config{
+		DBSize: 100, Service: 2 * time.Millisecond, MaxConcurrent: 4,
+		QueueDepth: 32, Target: 20 * time.Millisecond,
+		Deadline: 150 * time.Millisecond, Window: 600 * time.Millisecond,
+		Workers: 64, Factors: []float64{1, 4},
+		TrialFactors: []float64{2},
+		TrialUsers:   3, TrialEpochLen: 16, TrialFlood: 8,
+	}
+	d, err := RunE21(cfg)
+	if err != nil {
+		t.Fatalf("RunE21: %v", err)
+	}
+	if !d.AllAtomic {
+		t.Errorf("a shed was not atomic: some point's server op counter disagrees with delivered successes")
+	}
+	var unprotTop, protTop E21Point
+	for _, p := range d.Points {
+		if p.Factor != 4 {
+			continue
+		}
+		if p.Mode == "protected" {
+			protTop = p
+		} else {
+			unprotTop = p
+		}
+	}
+	if protTop.WithinDeadline <= unprotTop.WithinDeadline {
+		t.Errorf("protected goodput %d <= unprotected %d at 4x capacity",
+			protTop.WithinDeadline, unprotTop.WithinDeadline)
+	}
+	if protTop.ServerShedTotal == 0 && protTop.ServerExpireTotal == 0 {
+		t.Errorf("protected server refused nothing at 4x capacity")
+	}
+	// The ladder: the bottom class must starve at least as hard as
+	// user ops at the overloaded point (small-sample slack included).
+	if protTop.RefusedFrac["background"]+0.05 < protTop.RefusedFrac["user"] {
+		t.Errorf("refusal ladder inverted: background %.2f < user %.2f",
+			protTop.RefusedFrac["background"], protTop.RefusedFrac["user"])
+	}
+	if !d.AllConvicted {
+		t.Errorf("fork trial under flood was not convicted")
+	}
+	if d.FalseAlarms != 0 {
+		t.Errorf("honest trial under flood raised %d false alarms", d.FalseAlarms)
+	}
+	if !d.ZeroDangling {
+		t.Errorf("honest trial left dangling audit obligations after drain")
+	}
+}

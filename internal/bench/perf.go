@@ -221,9 +221,11 @@ func genTrace(users, ops int, seed int64) *workload.Trace {
 // epoch-batched async audit: verified throughput off the hot path
 // with detection within one epoch, E18 runs the crash matrix for the
 // durable audit journal: tamper-before-crash conviction after replay,
-// zero-loss recovery, and the degrade-to-sync transition.
+// zero-loss recovery, and the degrade-to-sync transition, E21 measures
+// overload protection: the open-loop goodput sweep to 4x capacity with
+// priority shedding and adversary conviction under flood.
 func All() []*Table {
-	return []*Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14(), E15(), E16(), E17(), E18()}
+	return []*Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14(), E15(), E16(), E17(), E18(), E21()}
 }
 
 // ByID returns one experiment's runner.
@@ -233,7 +235,7 @@ func ByID(id string) (func() *Table, bool) {
 		"E5": E5, "E6": E6, "E7": E7, "E8": E8,
 		"E9": E9, "E10": E10, "E11": E11, "E12": E12,
 		"E13": E13, "E14": E14, "E15": E15, "E16": E16, "E17": E17,
-		"E18": E18,
+		"E18": E18, "E21": E21,
 	}
 	f, ok := m[id]
 	return f, ok

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"trustedcvs/internal/sig"
 	"trustedcvs/internal/wire"
@@ -188,14 +189,59 @@ type HubServer struct {
 	conns   map[*hubConn]struct{}
 	closed  bool
 	wg      sync.WaitGroup
+
+	queueDepth int           // out-queue capacity for conns accepted after a SetLimits
+	writeT     time.Duration // per-frame write deadline; 0 disables
+	flips      uint64        // overflow -> replay-mode flips (slow resumable conns)
+	evictions  uint64        // severed conns: legacy overflow or write timeout
+}
+
+// DefaultHubWriteTimeout is the per-frame write deadline on hub
+// connections. A subscriber that stops reading fills its TCP buffers;
+// without a deadline its writer goroutine blocks in Encode forever and
+// the connection is never reclaimed. Ten seconds is far above any
+// healthy round trip, so only a genuinely frozen (or gray-failed)
+// consumer trips it — and a resumable one redials and catches up from
+// the log, losing nothing.
+const DefaultHubWriteTimeout = 10 * time.Second
+
+// SetLimits tunes the hub's slow-consumer guard: queue is the
+// per-connection outbound queue depth for connections accepted after
+// the call, writeTimeout the per-frame write deadline for all
+// connections. Zero keeps the current value for either. Primarily a
+// test hook; production hubs run the defaults.
+func (h *HubServer) SetLimits(queue int, writeTimeout time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if queue > 0 {
+		h.queueDepth = queue
+	}
+	if writeTimeout > 0 {
+		h.writeT = writeTimeout
+	}
+}
+
+// HubStats is a snapshot of the hub's slow-consumer accounting.
+type HubStats struct {
+	Conns     int    // currently connected subscribers
+	LogLen    int    // total publications logged
+	SlowFlips uint64 // resumable conns flipped to replay mode on queue overflow
+	Evictions uint64 // conns severed (legacy overflow or write timeout)
+}
+
+// Stats reports the hub's slow-consumer counters.
+func (h *HubServer) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HubStats{Conns: len(h.conns), LogLen: len(h.log), SlowFlips: h.flips, Evictions: h.evictions}
 }
 
 // hubConnBuf is the per-connection outbound queue for LIVE fan-out. A
-// client this far behind the live stream is severed; a resumable one
-// recovers via log replay on its next connection, so depth only trades
-// memory against reconnect churn. Replay itself never flows through
-// this queue — the writer streams it straight from the log (see the
-// writer loop in acceptLoop), so a catch-up of any size is
+// resumable client this far behind the live stream is flipped into
+// replay mode (its writer streams the backlog from the log, paced by
+// its own TCP connection); a legacy client is severed — it has no log
+// index to resume from, so its stream was lost either way. Replay
+// never flows through this queue, so a catch-up of any size is
 // flow-controlled by TCP instead of racing a fixed buffer.
 const hubConnBuf = 4096
 
@@ -204,11 +250,11 @@ const hubConnBuf = 4096
 //
 // A connection is in one of two delivery modes, tracked under
 // HubServer.mu. Live (the default): log entries are enqueued on out as
-// they are published. Replaying (entered at hubHello): the conn is
-// excluded from live fan-out and the writer streams log entries from
-// cursor, at the pace the client's TCP connection accepts them; when
-// the cursor catches the log tail the conn atomically rejoins live
-// fan-out. Enqueue-side replay (the old design) raced the writer for
+// they are published. Replaying (entered at hubHello, or when a
+// resumable conn's live queue overflows): the conn is excluded from
+// live fan-out and the writer streams log entries from cursor, at the
+// pace the client's TCP connection accepts them; when the cursor
+// catches the log tail the conn atomically rejoins live fan-out. Enqueue-side replay (the old design) raced the writer for
 // queue slots while holding the hub lock, so a client whose backlog
 // exceeded the queue was severed before its writer ever ran — a
 // zero-progress reconnect storm under fan-out bursts.
@@ -228,9 +274,11 @@ func ListenHub(addr string) (*HubServer, error) {
 		return nil, fmt.Errorf("broadcast: listen %s: %w", addr, err)
 	}
 	h := &HubServer{
-		lis:     lis,
-		lastPub: make(map[uint64]uint64),
-		conns:   make(map[*hubConn]struct{}),
+		lis:        lis,
+		lastPub:    make(map[uint64]uint64),
+		conns:      make(map[*hubConn]struct{}),
+		queueDepth: hubConnBuf,
+		writeT:     DefaultHubWriteTimeout,
 	}
 	h.wg.Add(1)
 	go h.acceptLoop()
@@ -247,13 +295,14 @@ func (h *HubServer) acceptLoop() {
 		if err != nil {
 			return
 		}
-		hc := &hubConn{conn: conn, out: make(chan any, hubConnBuf), kick: make(chan struct{}, 1)}
 		h.mu.Lock()
 		if h.closed {
 			h.mu.Unlock()
 			conn.Close()
 			return
 		}
+		//lint:ignore boundedqueue depth is SetLimits-bounded, default hubConnBuf
+		hc := &hubConn{conn: conn, out: make(chan any, h.queueDepth), kick: make(chan struct{}, 1)}
 		h.conns[hc] = struct{}{}
 		h.mu.Unlock()
 
@@ -278,6 +327,26 @@ func (h *HubServer) acceptLoop() {
 						h.mu.Unlock()
 						break
 					}
+					// Frames already queued on out precede the cursor in
+					// the total order (live entries enqueued before the
+					// overflow flip, plus unordered acks) — drain them
+					// before touching the log or the client would see the
+					// replay jump ahead of its own backlog: a gap, which a
+					// resumable client treats as a broken connection.
+					select {
+					case msg, ok := <-hc.out:
+						h.mu.Unlock()
+						if !ok {
+							hc.conn.Close()
+							return
+						}
+						if err := h.write(hc, enc, msg); err != nil {
+							h.drop(hc)
+							return
+						}
+						continue
+					default:
+					}
 					if hc.cursor > uint64(len(h.log)) {
 						// Caught up. Flip to live while still holding mu so
 						// no publication can slip between the check and the
@@ -289,7 +358,7 @@ func (h *HubServer) acceptLoop() {
 					e := h.log[hc.cursor-1]
 					hc.cursor++
 					h.mu.Unlock()
-					if err := enc.Encode(e); err != nil {
+					if err := h.write(hc, enc, e); err != nil {
 						h.drop(hc)
 						return
 					}
@@ -300,7 +369,7 @@ func (h *HubServer) acceptLoop() {
 						hc.conn.Close()
 						return
 					}
-					if err := enc.Encode(msg); err != nil {
+					if err := h.write(hc, enc, msg); err != nil {
 						h.drop(hc)
 						// Drain nothing further: enqueues check conns
 						// membership under mu, so a dropped conn stops
@@ -308,7 +377,8 @@ func (h *HubServer) acceptLoop() {
 						return
 					}
 				case <-hc.kick:
-					// A hello scheduled a replay; loop back to stream it.
+					// A hello or an overflow flip scheduled a replay; loop
+					// back to stream it.
 				}
 			}
 		}()
@@ -407,6 +477,7 @@ func (h *HubServer) publishLocked(sid, pubSeq uint64, msg Message) {
 		h.lastPub[sid] = pubSeq
 	}
 	e := &hubSeq{Idx: uint64(len(h.log)) + 1, SID: sid, PubSeq: pubSeq, Msg: msg}
+	//lint:ignore boundedqueue the log IS the resume contract: reconnecting clients replay the full history from their cursor, so retention is deliberate (memory scales with session traffic, not overload)
 	h.log = append(h.log, e)
 	for hc := range h.conns {
 		if hc.replaying {
@@ -430,11 +501,38 @@ func (h *HubServer) enqueueLocked(hc *hubConn, e *hubSeq) bool {
 	return h.enqueueFrameLocked(hc, frame)
 }
 
+// write sends one frame on hc's persistent gob stream under the hub's
+// per-frame write deadline. A consumer that stops reading fills its
+// TCP buffers; the deadline turns the otherwise-eternal blocked Encode
+// into an ordinary connection error, and the caller drops the conn — a
+// resumable client redials and catches up from the log.
+func (h *HubServer) write(hc *hubConn, enc *wire.Encoder, msg any) error {
+	h.mu.Lock()
+	t := h.writeT
+	h.mu.Unlock()
+	if t > 0 {
+		_ = hc.conn.SetWriteDeadline(time.Now().Add(t))
+	}
+	err := enc.Encode(msg)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			h.mu.Lock()
+			h.evictions++
+			h.mu.Unlock()
+		}
+	}
+	return err
+}
+
 // enqueueFrameLocked queues one raw frame, reporting whether the
-// connection survived. A full queue severs the connection — a
-// resumable client recovers by replay, a legacy one was lost either
-// way. Callers looping over multiple frames must stop on severance:
-// the outbound channel is closed and another send would panic.
+// connection survived. A full queue flips a resumable connection into
+// replay mode — it stops receiving live fan-out and its writer streams
+// the backlog straight from the log, rejoining live delivery when the
+// cursor catches the tail. Only a legacy connection (no log index to
+// resume from) is severed outright. Callers looping over multiple
+// frames must stop on severance: the outbound channel is closed and
+// another send would panic.
 func (h *HubServer) enqueueFrameLocked(hc *hubConn, frame any) bool {
 	if _, ok := h.conns[hc]; !ok {
 		return false
@@ -443,11 +541,33 @@ func (h *HubServer) enqueueFrameLocked(hc *hubConn, frame any) bool {
 	case hc.out <- frame:
 		return true
 	default:
-		delete(h.conns, hc)
-		close(hc.out)
-		hc.conn.Close()
-		return false
 	}
+	if e, ok := frame.(*hubSeq); ok && hc.resumable {
+		// The overflowed entry becomes the replay cursor: everything
+		// before it is already queued on out (the writer drains that
+		// first), so delivery stays gapless. No memory is pinned beyond
+		// the log the hub keeps anyway.
+		hc.replaying = true
+		hc.cursor = e.Idx
+		h.flips++
+		select {
+		case hc.kick <- struct{}{}:
+		default:
+		}
+		return true
+	}
+	if _, ok := frame.(*hubAck); ok && hc.resumable {
+		// Dropping an ack is safe: it is a watermark, not a log entry.
+		// The client keeps resending its unacked publications and the
+		// hub deduplicates; a later ack (or seeing its own publication
+		// replayed) prunes the backlog.
+		return true
+	}
+	h.evictions++
+	delete(h.conns, hc)
+	close(hc.out)
+	hc.conn.Close()
+	return false
 }
 
 func (h *HubServer) drop(hc *hubConn) {

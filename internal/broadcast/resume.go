@@ -356,6 +356,7 @@ func (c *resumeChannel) Publish(msg Message) error {
 	}
 	c.pubSeq++
 	p := &hubPub{SID: c.sid, PubSeq: c.pubSeq, Msg: msg}
+	//lint:ignore boundedqueue pruned by hub acks (pruneAcked); grows only across a disconnect window, bounded by this one client's publish rate over the outage
 	c.pending = append(c.pending, p)
 	c.mu.Unlock()
 	c.kickPump()

@@ -22,21 +22,29 @@ func WrapConn(c net.Conn, inj *Injector) *Conn {
 }
 
 // Read injects the scheduled fault, then reads. Truncate has no
-// read-side meaning and degrades to Reset.
+// read-side meaning and degrades to Reset. Under a bandwidth throttle
+// the read is additionally paced by the bytes it returned — the
+// gray-failure profile where data arrives, just slowly.
 func (c *Conn) Read(p []byte) (int, error) {
 	switch d := c.inj.Next(); d.Kind {
 	case Reset, Truncate:
 		c.Conn.Close()
 		return 0, fmt.Errorf("%w: connection reset on read", ErrInjected)
-	case Latency, Stall:
+	case Latency, Stall, Spike:
 		time.Sleep(d.Delay)
 	}
-	return c.Conn.Read(p)
+	n, err := c.Conn.Read(p)
+	if d := c.inj.throttleDelay(n); d > 0 {
+		time.Sleep(d)
+	}
+	return n, err
 }
 
 // Write injects the scheduled fault, then writes. Truncate writes a
 // strict prefix of p and severs, so the peer observes a mid-frame cut
-// — the hardest benign case for a length-prefixed codec.
+// — the hardest benign case for a length-prefixed codec. Under a
+// bandwidth throttle the write is paced by its size before it is
+// issued, so the peer sees throughput capped at BytesPerSec.
 func (c *Conn) Write(p []byte) (int, error) {
 	switch d := c.inj.Next(); d.Kind {
 	case Reset:
@@ -49,8 +57,11 @@ func (c *Conn) Write(p []byte) (int, error) {
 		}
 		c.Conn.Close()
 		return n, fmt.Errorf("%w: write truncated after %d/%d bytes", ErrInjected, n, len(p))
-	case Latency, Stall:
+	case Latency, Stall, Spike:
 		time.Sleep(d.Delay)
+	}
+	if d := c.inj.throttleDelay(len(p)); d > 0 {
+		time.Sleep(d)
 	}
 	return c.Conn.Write(p)
 }

@@ -50,6 +50,12 @@ const (
 	// a mid-frame truncation as seen after a crashed peer or a
 	// middlebox cut. On reads it degrades to Reset.
 	Truncate
+	// Spike delays the I/O by a seeded duration drawn from
+	// [Config.SpikeMin, Config.SpikeMax] — the gray-failure latency
+	// profile: the connection never dies, it just intermittently gets
+	// much worse. Unlike Latency (fixed delay), no two spikes need be
+	// alike, which is what defeats naive timeout tuning.
+	Spike
 )
 
 func (k Kind) String() string {
@@ -64,6 +70,8 @@ func (k Kind) String() string {
 		return "reset"
 	case Truncate:
 		return "truncate"
+	case Spike:
+		return "spike"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -101,6 +109,21 @@ type Config struct {
 	Latency time.Duration
 	// Stall is the delay injected by Stall faults.
 	Stall time.Duration
+
+	// Gray failure: a slow-but-alive connection. SpikeProb injects,
+	// per I/O, a latency spike of seeded duration drawn uniformly from
+	// [SpikeMin, SpikeMax]; BytesPerSec throttles the wrapped Conn's
+	// effective bandwidth (0 = unthrottled). Neither ever severs the
+	// connection — a gray endpoint passes every liveness check while
+	// degrading everything that flows through it, which is the failure
+	// mode circuit breakers and hedged reads exist for.
+	SpikeProb float64
+	SpikeMin  time.Duration
+	SpikeMax  time.Duration
+	// BytesPerSec paces each direction of a wrapped Conn: every I/O of
+	// n bytes costs n/BytesPerSec of sleep on that endpoint. Wrap one
+	// side only, or the halves compound.
+	BytesPerSec int
 
 	// Script fires exact (index, kind) events; indices are 1-based
 	// over the injector's shared I/O counter.
@@ -170,6 +193,8 @@ func (i *Injector) decideLocked() Decision {
 		return i.decision(Stall)
 	case i.chance(i.cfg.LatencyProb):
 		return i.decision(Latency)
+	case i.chance(i.cfg.SpikeProb):
+		return i.decision(Spike)
 	}
 	return Decision{}
 }
@@ -180,9 +205,24 @@ func (i *Injector) decision(k Kind) Decision {
 		return Decision{Kind: Latency, Delay: i.cfg.Latency}
 	case Stall:
 		return Decision{Kind: Stall, Delay: i.cfg.Stall}
+	case Spike:
+		d := i.cfg.SpikeMin
+		if span := i.cfg.SpikeMax - i.cfg.SpikeMin; span > 0 {
+			d += time.Duration(i.rand() % uint64(span+1))
+		}
+		return Decision{Kind: Spike, Delay: d}
 	default:
 		return Decision{Kind: k}
 	}
+}
+
+// throttleDelay converts n transferred bytes into the pacing sleep the
+// bandwidth throttle demands (zero when unthrottled).
+func (i *Injector) throttleDelay(n int) time.Duration {
+	if i.cfg.BytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(n) * time.Second / time.Duration(i.cfg.BytesPerSec)
 }
 
 // rand is splitmix64: tiny, seedable, and plenty for fault schedules.

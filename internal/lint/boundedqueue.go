@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// passBoundedQueue enforces the overload-protection discipline on the
+// server-side hot paths (internal/transport, internal/server,
+// internal/audit, internal/broadcast): every queue must carry a
+// visible bound. Unbounded queues are how graceful degradation fails
+// in practice — under overload they convert excess load into latency
+// and memory growth instead of typed refusals, defeating admission
+// control wholesale. Two shapes are flagged:
+//
+//   - make(chan T, n) where n is not a compile-time constant: a
+//     request- or config-scaled buffer is an unbounded queue from the
+//     analyzer's point of view; if the scaling is genuinely bounded,
+//     say where, in a //lint:ignore boundedqueue reason.
+//   - self-appends that grow long-lived state (x.f = append(x.f, ...)
+//     on a struct field, or p = append(p, ...) on a package-level
+//     variable) with no visible bound in the same function — no
+//     len/cap comparison of the queue and no reslice of it. Local
+//     slices are builders, not queues, and stay exempt.
+var passBoundedQueue = &Pass{
+	Name: nameBoundedQueue,
+	Doc:  "unbounded buffered channels and append-grown queues on server/transport/audit paths",
+	Run:  runBoundedQueue,
+}
+
+var boundedQueueScope = []string{
+	"internal/transport",
+	"internal/server",
+	"internal/audit",
+	"internal/broadcast",
+}
+
+func runBoundedQueue(m *Module) []Diag {
+	var out []Diag
+	for _, pkg := range m.Pkgs {
+		if !underAny(pkg.Rel, boundedQueueScope...) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				out = append(out, boundedQueueFunc(m, pkg, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+func boundedQueueFunc(m *Module, pkg *Package, fd *ast.FuncDecl) []Diag {
+	var out []Diag
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if d, ok := flagChanMake(m, pkg, n); ok {
+				out = append(out, d)
+			}
+		case *ast.AssignStmt:
+			if d, ok := flagQueueAppend(m, pkg, fd, n); ok {
+				out = append(out, d)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// flagChanMake reports make(chan T, n) with a non-constant capacity.
+func flagChanMake(m *Module, pkg *Package, call *ast.CallExpr) (Diag, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) < 2 {
+		return Diag{}, false
+	}
+	if _, ok := pkg.Info.Uses[id].(*types.Builtin); !ok {
+		return Diag{}, false
+	}
+	if _, ok := ast.Unparen(call.Args[0]).(*ast.ChanType); !ok {
+		return Diag{}, false
+	}
+	capArg := call.Args[1]
+	if tv, ok := pkg.Info.Types[capArg]; ok && tv.Value != nil {
+		return Diag{}, false // compile-time constant: bounded by construction
+	}
+	return m.diagf(nameBoundedQueue, call.Pos(),
+		"buffered channel capacity %s is not a compile-time constant: a scaled buffer is an unbounded queue under overload — bound it, or annotate where the bound lives", exprString(capArg)), true
+}
+
+// flagQueueAppend reports x = append(x, ...) growing a struct field or
+// package-level variable when the enclosing function shows no bound on
+// x (no len/cap comparison, no reslice).
+func flagQueueAppend(m *Module, pkg *Package, fd *ast.FuncDecl, as *ast.AssignStmt) (Diag, bool) {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return Diag{}, false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return Diag{}, false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+		return Diag{}, false
+	}
+	lhs := exprString(as.Lhs[0])
+	if lhs == "" || lhs != exprString(call.Args[0]) {
+		return Diag{}, false // not a self-append; reslices and rebuilds are bounds, not growth
+	}
+	if !longLivedTarget(pkg, fd, as.Lhs[0]) {
+		return Diag{}, false
+	}
+	if functionBoundsQueue(fd, lhs) {
+		return Diag{}, false
+	}
+	return m.diagf(nameBoundedQueue, as.Pos(),
+		"%s grows without a visible bound in %s: long-lived queues on this path must be bounded (or annotate where the bound lives)", lhs, fd.Name.Name), true
+}
+
+// longLivedTarget reports whether the assignment target outlives the
+// call: a field of the method receiver, or a package-level variable
+// (bare or package-qualified). Fields of locals are builders —
+// snapshot assembly, response marshalling — not queues.
+func longLivedTarget(pkg *Package, fd *ast.FuncDecl, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		base, ok := ast.Unparen(e.X).(*ast.Ident)
+		if !ok {
+			return true // chained selector (x.a.b): deep state, assume long-lived
+		}
+		obj := pkg.Info.Uses[base]
+		if obj == nil {
+			return false
+		}
+		if obj.Parent() == pkg.Types.Scope() {
+			return true // package-level struct var
+		}
+		if _, ok := obj.(*types.PkgName); ok {
+			return true // other package's variable
+		}
+		return identIsReceiver(pkg, fd, base)
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		if obj == nil {
+			obj = pkg.Info.Defs[e]
+		}
+		return obj != nil && obj.Parent() == pkg.Types.Scope()
+	}
+	return false
+}
+
+// identIsReceiver reports whether id resolves to fd's method receiver.
+func identIsReceiver(pkg *Package, fd *ast.FuncDecl, id *ast.Ident) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return false
+	}
+	recv := pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	return recv != nil && pkg.Info.Uses[id] == recv
+}
+
+// functionBoundsQueue reports whether fd's body contains a visible
+// bound on the queue expression: a len()/cap() of it inside any
+// comparison, or a reslice assigned back to it.
+func functionBoundsQueue(fd *ast.FuncDecl, queue string) bool {
+	bounded := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				if lenCapOf(n.X) == queue || lenCapOf(n.Y) == queue {
+					bounded = true
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 && exprString(n.Lhs[0]) == queue {
+				if sl, ok := ast.Unparen(n.Rhs[0]).(*ast.SliceExpr); ok && exprString(sl.X) == queue {
+					bounded = true
+				}
+			}
+		}
+		return true
+	})
+	return bounded
+}
+
+// lenCapOf returns the printed argument of a len(x) or cap(x) call,
+// "" otherwise.
+func lenCapOf(e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return ""
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || (id.Name != "len" && id.Name != "cap") {
+		return ""
+	}
+	return exprString(call.Args[0])
+}
+
+// exprString prints an expression in source form for syntactic
+// equality checks ("c.pending", "h.log").
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

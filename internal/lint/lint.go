@@ -65,6 +65,7 @@ const (
 	nameVerifyFlow     = "verifyflow"
 	nameLockOrder      = "lockorder"
 	nameSyncDiscipline = "syncdiscipline"
+	nameBoundedQueue   = "boundedqueue"
 	nameDeadIgnore     = "deadignore"
 )
 
@@ -83,6 +84,7 @@ func Passes() []*Pass {
 		passVerifyFlow,
 		passLockOrder,
 		passSyncDiscipline,
+		passBoundedQueue,
 		passDeadIgnore,
 	}
 }
@@ -99,6 +101,7 @@ var knownPassNames = map[string]bool{
 	nameVerifyFlow:     true,
 	nameLockOrder:      true,
 	nameSyncDiscipline: true,
+	nameBoundedQueue:   true,
 	nameDeadIgnore:     true,
 }
 

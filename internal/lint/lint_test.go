@@ -40,6 +40,8 @@ func TestFixtureCorpus(t *testing.T) {
 		{"hashdiscipline", "internal/merkle/hash.go", 6},       // sha256 outside digest
 		{"panicfree", "internal/server/entry.go", 29},          // panic via HandleOp
 		{"randsource", "internal/sig/rand.go", 5},              // math/rand in sig
+		{"boundedqueue", "internal/transport/admitq.go", 19},   // chan capacity from a parameter
+		{"boundedqueue", "internal/transport/admitq.go", 40},   // receiver-field append with no visible bound
 		{"lockscope", "internal/transport/conn.go", 20},        // net.Conn.Write under Lock
 		{"lockscope", "internal/transport/faulty.go", 23},      // fault.Injector.Next under Lock
 		{"sleepretry", "internal/transport/retrysleep.go", 12}, // time.Sleep in retry loop

@@ -1,0 +1,79 @@
+// admitq plants the boundedqueue corpus: queues on the transport path
+// that grow without a visible bound (flagged), next to their bounded,
+// suppressed, and builder-shaped twins (silent).
+package transport
+
+// queueSize is a compile-time constant: channels sized by it are
+// bounded by construction.
+const queueSize = 64
+
+// Admitter is a miniature of an admission queue's state.
+type Admitter struct {
+	waiters []int
+	scratch []int
+}
+
+// NewScaled sizes the buffer from a parameter — not a compile-time
+// constant, so the analyzer must flag it.
+func NewScaled(n int) chan int {
+	return make(chan int, n) // want boundedqueue
+}
+
+// NewConst sizes the buffer from a constant: silent.
+func NewConst() chan int {
+	return make(chan int, queueSize)
+}
+
+// NewUnbuffered has no capacity to judge: silent.
+func NewUnbuffered() chan int {
+	return make(chan int)
+}
+
+// NewAnnotated carries the suppression with a reason: silent.
+func NewAnnotated(n int) chan int {
+	//lint:ignore boundedqueue n is clamped by the caller to queueSize
+	return make(chan int, n)
+}
+
+// Enqueue grows receiver state with no bound in sight: flagged.
+func (a *Admitter) Enqueue(v int) {
+	a.waiters = append(a.waiters, v)
+}
+
+// EnqueueBounded checks the queue's length before growing: silent.
+func (a *Admitter) EnqueueBounded(v int) bool {
+	if len(a.waiters) >= queueSize {
+		return false
+	}
+	a.waiters = append(a.waiters, v)
+	return true
+}
+
+// EnqueueResliced trims the queue in the same function: silent.
+func (a *Admitter) EnqueueResliced(v int) {
+	a.waiters = append(a.waiters, v)
+	if len(a.waiters) > queueSize {
+		a.waiters = a.waiters[1:]
+	}
+}
+
+// Collect appends into a local builder, not a long-lived queue:
+// silent.
+func (a *Admitter) Collect(vs []int) []int {
+	out := make([]int, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Snapshot grows a field of a *local* struct — snapshot assembly, not
+// a queue: silent.
+func (a *Admitter) Snapshot() []int {
+	type view struct{ items []int }
+	var v view
+	for _, w := range a.waiters {
+		v.items = append(v.items, w)
+	}
+	return v.items
+}

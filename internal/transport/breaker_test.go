@@ -1,0 +1,291 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trustedcvs/internal/backoff"
+	"trustedcvs/internal/wire"
+)
+
+// TestBreakerStateMachine walks the closed → open → half-open cycle
+// directly: failures below threshold leave the breaker closed, the
+// threshold opens it with a jittered cooldown in [c/2, 3c/2), a failed
+// probe re-opens immediately, and a successful probe closes it and
+// resets the failure streak.
+func TestBreakerStateMachine(t *testing.T) {
+	src := backoff.NewSeededSource(42)
+	const cooldown = 100 * time.Millisecond
+	b := newBreaker(BreakerPolicy{Threshold: 3, Cooldown: cooldown})
+	now := time.Unix(1000, 0)
+
+	b.failureLocked(now, src)
+	b.failureLocked(now, src)
+	if b.state != BreakerClosed {
+		t.Fatalf("state = %v after 2/3 failures, want closed", b.state)
+	}
+	b.failureLocked(now, src)
+	if b.state != BreakerOpen || b.opens != 1 {
+		t.Fatalf("state/opens = %v/%d after threshold, want open/1", b.state, b.opens)
+	}
+	if d := b.probeAt.Sub(now); d < cooldown/2 || d >= 3*cooldown/2 {
+		t.Fatalf("cooldown jitter %v outside [%v, %v)", d, cooldown/2, 3*cooldown/2)
+	}
+	if b.probeReadyLocked(now) {
+		t.Fatal("probe ready immediately after opening")
+	}
+	later := now.Add(3 * cooldown / 2)
+	if !b.probeReadyLocked(later) {
+		t.Fatal("probe not ready after the max jittered cooldown")
+	}
+	b.claimProbeLocked()
+	if b.state != BreakerHalfOpen || !b.probing {
+		t.Fatalf("state = %v after claim, want half-open with the probe slot taken", b.state)
+	}
+	// A failed probe re-opens at once — one failure, not a new streak.
+	b.failureLocked(later, src)
+	if b.state != BreakerOpen || b.opens != 2 || b.probing {
+		t.Fatalf("state/opens/probing = %v/%d/%v after failed probe, want open/2/false", b.state, b.opens, b.probing)
+	}
+	later = later.Add(3 * cooldown / 2)
+	if !b.probeReadyLocked(later) {
+		t.Fatal("second probe never became ready")
+	}
+	b.claimProbeLocked()
+	b.successLocked()
+	if b.state != BreakerClosed || b.fails != 0 || b.probing {
+		t.Fatalf("state/fails/probing = %v/%d/%v after successful probe, want closed/0/false", b.state, b.fails, b.probing)
+	}
+}
+
+// sheddingServer is a session-aware server whose handler refuses every
+// request with the typed overload sentinel, counting deliveries.
+func sheddingServer(t *testing.T) (*Server, *atomic.Int64) {
+	t.Helper()
+	var seen atomic.Int64
+	srv, err := ListenOpts("127.0.0.1:0", func(req any) (any, error) {
+		seen.Add(1)
+		return nil, fmt.Errorf("test: synthetic shed%w", admErr{wire.ErrOverloaded})
+	}, Options{Sessions: NewSessionTable(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, &seen
+}
+
+// okServer is a session-aware server that answers every request with
+// tag:req, counting deliveries.
+func okServer(t *testing.T, tag string) (*Server, *atomic.Int64) {
+	t.Helper()
+	var seen atomic.Int64
+	srv, err := ListenOpts("127.0.0.1:0", func(req any) (any, error) {
+		seen.Add(1)
+		return fmt.Sprintf("%s:%v", tag, req), nil
+	}, Options{Sessions: NewSessionTable(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, &seen
+}
+
+// TestBreakerSurfacesOverloadOnSoleEndpoint: with nowhere to fail over
+// to, a typed shed is surfaced to the caller immediately — one server
+// round trip per Call, no retry hammering the server that just shed us.
+func TestBreakerSurfacesOverloadOnSoleEndpoint(t *testing.T) {
+	srv, seen := sheddingServer(t)
+	c := DialResilient(srv.Addr(), RetryPolicy{
+		MaxAttempts: 8, BackoffMin: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+		Breaker: &BreakerPolicy{Threshold: 2, Cooldown: 50 * time.Millisecond},
+	})
+	defer c.Close()
+	const n = 4
+	for i := 0; i < n; i++ {
+		_, err := c.Call(fmt.Sprintf("op%d", i))
+		if !errors.Is(err, wire.ErrOverloaded) {
+			t.Fatalf("op%d got %v, want typed wire.ErrOverloaded surfaced", i, err)
+		}
+	}
+	if got := seen.Load(); got != n {
+		t.Fatalf("server saw %d requests for %d calls — overload was retried against the sole endpoint", got, n)
+	}
+	if got := c.Overloads(); got != n {
+		t.Fatalf("client absorbed %d overloads, want %d", got, n)
+	}
+}
+
+// TestBreakerFailsOverOnOverload: a shed from the preferred endpoint
+// with a healthy alternative available rotates the call there instead
+// of surfacing the refusal.
+func TestBreakerFailsOverOnOverload(t *testing.T) {
+	shedSrv, shedSeen := sheddingServer(t)
+	okSrv, okSeen := okServer(t, "B")
+	dial := func(addr string) func() (net.Conn, error) {
+		return func() (net.Conn, error) { return net.DialTimeout("tcp", addr, time.Second) }
+	}
+	c := DialResilientEndpoints([]Endpoint{
+		{Name: "A", Dial: dial(shedSrv.Addr())},
+		{Name: "B", Dial: dial(okSrv.Addr())},
+	}, RetryPolicy{
+		MaxAttempts: 8, BackoffMin: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+		Breaker: &BreakerPolicy{Threshold: 2, Cooldown: time.Minute},
+	})
+	defer c.Close()
+	resp, err := c.Call("op")
+	if err != nil {
+		t.Fatalf("call across failover: %v", err)
+	}
+	if resp != "B:op" {
+		t.Fatalf("resp = %v, want the healthy endpoint's answer", resp)
+	}
+	if shedSeen.Load() != 1 || okSeen.Load() != 1 {
+		t.Fatalf("A/B saw %d/%d requests, want 1/1 (one shed, one failover delivery)",
+			shedSeen.Load(), okSeen.Load())
+	}
+	if c.EndpointName() != "B" {
+		t.Fatalf("client still pinned to %s after the shed", c.EndpointName())
+	}
+}
+
+// TestBreakerProbeStormBounded is the half-open guarantee under
+// concurrency (run with -race by CI): 64 callers hammer one endpoint
+// through an outage; once the breaker opens, redials are paced by the
+// cooldown and — at recovery — exactly one claimed probe reconnects,
+// with every caller then riding the probe's connection. The dial count
+// stays far below the caller count; without the breaker each caller
+// would redial on every backoff tick.
+func TestBreakerProbeStormBounded(t *testing.T) {
+	var applied atomic.Int64
+	tbl := NewSessionTable(0)
+	h := func(req any) (any, error) { applied.Add(1); return req, nil }
+	srv, err := ListenOpts("127.0.0.1:0", h, Options{Sessions: tbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	var down atomic.Bool
+	var dials atomic.Int64
+	c := DialResilientFunc(func() (net.Conn, error) {
+		dials.Add(1)
+		if down.Load() {
+			return nil, errors.New("test: endpoint down")
+		}
+		return net.DialTimeout("tcp", addr, time.Second)
+	}, RetryPolicy{
+		CallTimeout: 2 * time.Second, MaxAttempts: 100,
+		BackoffMin: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+		JitterSeed: 7,
+		Breaker:    &BreakerPolicy{Threshold: 1, Cooldown: 40 * time.Millisecond},
+	})
+	defer c.Close()
+
+	down.Store(true)
+	const callers = 64
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Call(fmt.Sprintf("op%d", i))
+		}(i)
+	}
+	time.Sleep(150 * time.Millisecond)
+	dialsDuringOutage := dials.Load()
+	down.Store(false)
+	wg.Wait()
+	srv.Close()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d failed across the outage: %v", i, err)
+		}
+	}
+	if applied.Load() != callers {
+		t.Fatalf("applied = %d, want exactly %d", applied.Load(), callers)
+	}
+	// 150ms outage / >=20ms jittered cooldown: at most ~8 paced probes
+	// plus the initial pre-open dial. 16 leaves slack for scheduling;
+	// an unbounded storm would be hundreds (64 callers x backoff ticks).
+	if dialsDuringOutage > 16 {
+		t.Fatalf("outage produced %d dials from %d callers — probe pacing failed", dialsDuringOutage, callers)
+	}
+	if total := dials.Load(); total > dialsDuringOutage+4 {
+		t.Fatalf("recovery produced %d extra dials, want a single claimed probe (plus slack)", total-dialsDuringOutage)
+	}
+	if st := c.BreakerStates(); st["endpoint"] != "closed" {
+		t.Fatalf("breaker = %q after recovery, want closed", st["endpoint"])
+	}
+}
+
+// TestResilientOverloadBudgetExhaustion: the end-to-end budget cuts
+// retries off with the typed deadline error instead of burning the full
+// attempt schedule against a dead endpoint.
+func TestResilientOverloadBudgetExhaustion(t *testing.T) {
+	c := DialResilientFunc(func() (net.Conn, error) {
+		return nil, errors.New("test: endpoint never comes up")
+	}, RetryPolicy{
+		CallTimeout: time.Second, MaxAttempts: 1000,
+		BackoffMin: 5 * time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		Budget: 80 * time.Millisecond,
+	})
+	defer c.Close()
+	start := time.Now()
+	_, err := c.Call("op")
+	elapsed := time.Since(start)
+	if !errors.Is(err, wire.ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want typed wire.ErrDeadlineExceeded from budget exhaustion", err)
+	}
+	if elapsed < 60*time.Millisecond || elapsed > time.Second {
+		t.Fatalf("budget of 80ms cut off after %v", elapsed)
+	}
+}
+
+// TestResilientHedgedReadBypassesOverloadedPrimary: a slow primary
+// path is hedged to the best other endpoint after the hedge delay, and
+// the faster answer wins well before the primary finishes.
+func TestResilientHedgedReadBypassesOverloadedPrimary(t *testing.T) {
+	var slowSeen atomic.Int64
+	slowSrv, err := ListenOpts("127.0.0.1:0", func(req any) (any, error) {
+		slowSeen.Add(1)
+		time.Sleep(500 * time.Millisecond)
+		return fmt.Sprintf("A:%v", req), nil
+	}, Options{Sessions: NewSessionTable(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slowSrv.Close()
+	fastSrv, fastSeen := okServer(t, "B")
+
+	dial := func(addr string) func() (net.Conn, error) {
+		return func() (net.Conn, error) { return net.DialTimeout("tcp", addr, time.Second) }
+	}
+	c := DialResilientEndpoints([]Endpoint{
+		{Name: "A", Dial: dial(slowSrv.Addr())},
+		{Name: "B", Dial: dial(fastSrv.Addr())},
+	}, RetryPolicy{CallTimeout: 2 * time.Second, Breaker: &BreakerPolicy{}})
+	defer c.Close()
+
+	start := time.Now()
+	resp, err := c.CallHedged("read", 30*time.Millisecond)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("hedged call: %v", err)
+	}
+	if resp != "B:read" {
+		t.Fatalf("resp = %v, want the hedge target's answer", resp)
+	}
+	if elapsed >= 400*time.Millisecond {
+		t.Fatalf("hedged read took %v — it waited out the slow primary", elapsed)
+	}
+	if fastSeen.Load() != 1 {
+		t.Fatalf("hedge target saw %d requests, want 1", fastSeen.Load())
+	}
+}

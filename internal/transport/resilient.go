@@ -32,6 +32,19 @@ type RetryPolicy struct {
 	// pass fixed distinct seeds for reproducible, decorrelated
 	// schedules.
 	JitterSeed uint64
+	// Budget, when positive, is the total end-to-end deadline for each
+	// Call, propagated to the server in every attempt's frame header
+	// (shrinking attempt by attempt — the hop decrement). When it
+	// expires the Call returns wire.ErrDeadlineExceeded instead of
+	// retrying: the caller has given up, so the client stops spending
+	// server capacity on it. 0 disables deadline propagation.
+	Budget time.Duration
+	// Breaker, when non-nil, arms a per-endpoint circuit breaker
+	// (closed/open/half-open with seeded probe jitter): endpoints that
+	// keep failing — or keep shedding with wire.ErrOverloaded — are
+	// skipped for a jittered cooldown instead of hammered, and exactly
+	// one probe tests recovery.
+	Breaker *BreakerPolicy
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -69,6 +82,7 @@ type endpointState struct {
 	ep          Endpoint
 	health      int
 	quarantined bool
+	brk         *breaker // nil when RetryPolicy.Breaker is nil
 }
 
 // ResilientClient is a Caller that survives connection loss and, when
@@ -106,6 +120,7 @@ type ResilientClient struct {
 
 	reconnects uint64
 	failovers  uint64
+	overloads  uint64
 }
 
 // DialResilient returns a resilient client for addr with policy pol
@@ -143,6 +158,9 @@ func DialResilientEndpoints(eps []Endpoint, pol RetryPolicy) *ResilientClient {
 	states := make([]*endpointState, len(eps))
 	for i, ep := range eps {
 		states[i] = &endpointState{ep: ep}
+		if pol.Breaker != nil {
+			states[i].brk = newBreaker(*pol.Breaker)
+		}
 	}
 	return &ResilientClient{pol: pol, src: src, endpoints: states, sid: newSID()}
 }
@@ -222,22 +240,45 @@ func (c *ResilientClient) Quarantine(name string) {
 	}
 }
 
-// pickLocked selects the healthiest non-quarantined endpoint, earliest
-// index winning ties.
+// ErrAllBreakersOpen is returned (and retried with backoff) when every
+// non-quarantined endpoint's circuit breaker is holding traffic off —
+// the paced version of "everything is down right now".
+var ErrAllBreakersOpen = errors.New("transport: every endpoint's breaker is open")
+
+// pickLocked selects the healthiest non-quarantined endpoint with a
+// closed (or absent) breaker, earliest index winning ties. When every
+// candidate is breaker-blocked, it claims at most one half-open probe
+// slot — the mechanism that bounds probe storms: however many callers
+// race the pick, only the claimant reaches the recovering endpoint.
 func (c *ResilientClient) pickLocked() (int, error) {
-	best := -1
+	now := time.Now()
+	best, probe, blocked := -1, -1, false
 	for i, s := range c.endpoints {
 		if s.quarantined {
+			continue
+		}
+		if s.brk != nil && s.brk.state != BreakerClosed {
+			blocked = true
+			if probe < 0 && s.brk.probeReadyLocked(now) {
+				probe = i
+			}
 			continue
 		}
 		if best < 0 || s.health > c.endpoints[best].health {
 			best = i
 		}
 	}
-	if best < 0 {
-		return 0, ErrAllQuarantined
+	if best >= 0 {
+		return best, nil
 	}
-	return best, nil
+	if probe >= 0 {
+		c.endpoints[probe].brk.claimProbeLocked()
+		return probe, nil
+	}
+	if blocked {
+		return 0, ErrAllBreakersOpen
+	}
+	return 0, ErrAllQuarantined
 }
 
 // noteLocked adjusts an endpoint's health score within ±healthCap.
@@ -271,6 +312,9 @@ func (c *ResilientClient) ensure() (net.Conn, *wire.Conn, uint64, error) {
 	conn, err := c.endpoints[idx].ep.Dial()
 	if err != nil {
 		c.endpoints[idx].noteLocked(-1)
+		if b := c.endpoints[idx].brk; b != nil {
+			b.failureLocked(time.Now(), c.src)
+		}
 		return nil, nil, 0, err
 	}
 	if c.gen > 0 && idx != c.epIdx {
@@ -293,6 +337,9 @@ func (c *ResilientClient) drop(gen uint64) {
 	defer c.mu.Unlock()
 	if c.gen == gen {
 		c.endpoints[c.epIdx].noteLocked(-1)
+		if b := c.endpoints[c.epIdx].brk; b != nil {
+			b.failureLocked(time.Now(), c.src)
+		}
 		if c.conn != nil {
 			c.conn.Close()
 			c.conn, c.wc = nil, nil
@@ -307,7 +354,70 @@ func (c *ResilientClient) credit(gen uint64) {
 	defer c.mu.Unlock()
 	if c.gen == gen {
 		c.endpoints[c.epIdx].noteLocked(1)
+		if b := c.endpoints[c.epIdx].brk; b != nil {
+			b.successLocked()
+		}
 	}
+}
+
+// noteOverload scores a typed overload shed against the endpoint of
+// generation gen: health down, breaker failure (sustained shedding
+// opens the breaker and shifts traffic), and — when another endpoint
+// is available to fail over to — the shedding endpoint's connection is
+// released so the next attempt lands elsewhere. Reports whether a
+// failover target exists; if not, the caller surfaces the overload
+// instead of hammering the only server it has.
+func (c *ResilientClient) noteOverload(gen uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return true // a concurrent call already rotated the conn
+	}
+	c.overloads++
+	c.endpoints[c.epIdx].noteLocked(-1)
+	if b := c.endpoints[c.epIdx].brk; b != nil {
+		b.failureLocked(time.Now(), c.src)
+	}
+	now := time.Now()
+	for i, s := range c.endpoints {
+		if i == c.epIdx || s.quarantined {
+			continue
+		}
+		if s.brk != nil && s.brk.state != BreakerClosed && !s.brk.probeReadyLocked(now) {
+			continue
+		}
+		// Failover target found: release the shedding endpoint's conn.
+		if c.conn != nil {
+			c.conn.Close()
+			c.conn, c.wc = nil, nil
+		}
+		return true
+	}
+	return false
+}
+
+// Overloads reports how many typed overload sheds this client has
+// absorbed.
+func (c *ResilientClient) Overloads() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.overloads
+}
+
+// BreakerStates snapshots each endpoint's breaker state (all "closed"
+// when the breaker is disabled).
+func (c *ResilientClient) BreakerStates() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := make(map[string]string, len(c.endpoints))
+	for _, s := range c.endpoints {
+		st := BreakerClosed
+		if s.brk != nil {
+			st = s.brk.state
+		}
+		m[s.ep.Name] = st.String()
+	}
+	return m
 }
 
 // Call implements Caller with at-most-once application semantics: the
@@ -325,11 +435,24 @@ func (c *ResilientClient) Call(req any) (any, error) {
 	sreq := &wire.SessionRequest{SID: c.sid, Seq: c.seq, Req: req}
 	c.mu.Unlock()
 
+	var deadline time.Time
+	if c.pol.Budget > 0 {
+		deadline = time.Now().Add(c.pol.Budget)
+	}
 	bo := backoff.New(backoff.Policy{Min: c.pol.BackoffMin, Max: c.pol.BackoffMax}, c.src)
 	var lastErr error
 	for attempt := 0; attempt < c.pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			bo.Sleep()
+		}
+		budget := time.Duration(0)
+		if !deadline.IsZero() {
+			if budget = time.Until(deadline); budget <= 0 {
+				// The caller's budget ran out between attempts: stop
+				// here rather than burn server capacity on an answer
+				// nobody will read.
+				return nil, fmt.Errorf("transport: call budget exhausted after %d attempts (last: %v)%w", attempt, lastErr, clientErr{wire.ErrDeadlineExceeded})
+			}
 		}
 		conn, wc, gen, err := c.ensure()
 		if err != nil {
@@ -339,17 +462,38 @@ func (c *ResilientClient) Call(req any) (any, error) {
 			lastErr = err
 			continue
 		}
-		// The per-call deadline covers the whole round trip; network I/O
-		// runs outside mu so concurrent Calls pipeline on one connection.
-		_ = conn.SetDeadline(time.Now().Add(c.pol.CallTimeout))
-		resp, err := wc.Call(sreq)
+		// The per-attempt deadline covers the whole round trip (capped
+		// by what remains of the call budget); network I/O runs outside
+		// mu so concurrent Calls pipeline on one connection.
+		timeout := c.pol.CallTimeout
+		if budget > 0 && budget < timeout {
+			timeout = budget
+		}
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+		resp, err := wc.CallBudget(sreq, budget)
 		if err == nil {
 			_ = conn.SetDeadline(time.Time{})
 			c.credit(gen)
 			return resp, nil
 		}
+		if errors.Is(err, wire.ErrOverloaded) {
+			// Typed shed: delivered, but refused before any state was
+			// touched, so re-presenting the same (SID, Seq) elsewhere
+			// is safe. Fail over when another endpoint is available;
+			// surface the overload when this was the only one — never
+			// hammer the server that just shed us.
+			_ = conn.SetDeadline(time.Time{})
+			if !c.noteOverload(gen) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
 		if errors.Is(err, wire.ErrRemote) {
 			// Delivered: the handler's verdict came back. Not a fault.
+			// (Includes a server-side ErrDeadlineExceeded: the server
+			// refused expired work; retrying an expired request is by
+			// definition pointless.)
 			_ = conn.SetDeadline(time.Time{})
 			c.credit(gen)
 			return nil, err
@@ -358,6 +502,121 @@ func (c *ResilientClient) Call(req any) (any, error) {
 		c.drop(gen)
 	}
 	return nil, fmt.Errorf("transport: call failed after %d attempts: %w", c.pol.MaxAttempts, lastErr)
+}
+
+// clientErr splices a typed sentinel into a client-side error without
+// altering its message (the client-side analogue of wire's marker).
+type clientErr struct{ is error }
+
+func (clientErr) Error() string          { return "" }
+func (m clientErr) Is(target error) bool { return target == m.is }
+
+// CallHedged is Call with a hedged second attempt for idempotent
+// requests: if the primary path has not answered within hedge, one
+// duplicate is fired at the best *other* endpoint over a one-shot
+// connection, and the first answer wins. The duplicate is sent plain
+// (no session envelope) — hedging is only safe for idempotent reads,
+// where a double execution is harmless by definition; non-idempotent
+// ops must use Call, whose session envelope serializes them through
+// one server's dedupe table.
+func (c *ResilientClient) CallHedged(req any, hedge time.Duration) (any, error) {
+	type outcome struct {
+		resp any
+		err  error
+	}
+	ch := make(chan outcome, 2)
+	go func() {
+		resp, err := c.Call(req)
+		ch <- outcome{resp, err}
+	}()
+	t := time.NewTimer(hedge)
+	defer t.Stop()
+	select {
+	case o := <-ch:
+		return o.resp, o.err
+	case <-t.C:
+	}
+	idx, ok := c.hedgeTarget()
+	if !ok {
+		// Nowhere to hedge to; wait out the primary.
+		o := <-ch
+		return o.resp, o.err
+	}
+	go func() {
+		resp, err := c.hedgeOnce(idx, req)
+		ch <- outcome{resp, err}
+	}()
+	// Two attempts racing: first success wins; a failed hedge falls
+	// back to waiting on the primary (and vice versa).
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		o := <-ch
+		if o.err == nil || errors.Is(o.err, wire.ErrRemote) {
+			return o.resp, o.err
+		}
+		firstErr = o.err
+	}
+	return nil, firstErr
+}
+
+// hedgeTarget picks the healthiest non-quarantined, breaker-closed
+// endpoint other than the one the primary path is using.
+func (c *ResilientClient) hedgeTarget() (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	best := -1
+	for i, s := range c.endpoints {
+		if i == c.epIdx || s.quarantined {
+			continue
+		}
+		if s.brk != nil && s.brk.state != BreakerClosed {
+			continue
+		}
+		if best < 0 || s.health > c.endpoints[best].health {
+			best = i
+		}
+	}
+	return best, best >= 0
+}
+
+// hedgeOnce runs one single-attempt call against endpoint idx over a
+// throwaway connection, scoring the endpoint's health and breaker.
+func (c *ResilientClient) hedgeOnce(idx int, req any) (any, error) {
+	c.mu.Lock()
+	ep := c.endpoints[idx]
+	c.mu.Unlock()
+	conn, err := ep.ep.Dial()
+	if err != nil {
+		c.noteHedge(idx, false)
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(c.pol.CallTimeout))
+	resp, err := wire.NewConn(conn).Call(req)
+	if err != nil && !errors.Is(err, wire.ErrRemote) {
+		c.noteHedge(idx, false)
+		return nil, err
+	}
+	c.noteHedge(idx, true)
+	return resp, err
+}
+
+// noteHedge scores a hedge attempt's outcome for endpoint idx.
+func (c *ResilientClient) noteHedge(idx int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.endpoints[idx]
+	if ok {
+		s.noteLocked(1)
+		if s.brk != nil {
+			s.brk.successLocked()
+		}
+		return
+	}
+	s.noteLocked(-1)
+	if s.brk != nil {
+		s.brk.failureLocked(time.Now(), c.src)
+	}
 }
 
 // Close implements Caller.

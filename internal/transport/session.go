@@ -140,6 +140,15 @@ func (t *SessionTable) Dispatch(r *wire.SessionRequest, handler Handler) (any, e
 		return nil, fmt.Errorf("transport: request seq %d below session horizon %d: response no longer cached", r.Seq, s.floor)
 	}
 	resp, err := handler(r.Req)
+	if err != nil && wire.ErrCode(err) != 0 {
+		// Typed refusals (overload shed, expired deadline) happen
+		// before the handler touches protocol state — the refusal is
+		// atomic by contract. Caching one would make a retry of this
+		// sequence replay "overloaded" forever after capacity
+		// returned, so refusals pass through uncached and a retry is
+		// a fresh admission attempt.
+		return nil, err
+	}
 	o := outcome{resp: resp}
 	if err != nil {
 		o = outcome{isErr: true, errMsg: err.Error()}

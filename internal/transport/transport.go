@@ -59,6 +59,20 @@ type Options struct {
 	// resilient client's exactly-once retry contract. Plain requests
 	// bypass the table untouched.
 	Sessions *SessionTable
+	// Admission, when set, replaces the MaxConcurrent semaphore as the
+	// concurrency governor: a bounded priority queue with an adaptive
+	// (AIMD) limit that sheds excess load with typed wire.ErrOverloaded
+	// *before* the handler or session cache is touched. See Admission.
+	Admission *Admission
+	// Classify maps an (unwrapped) request payload to its admission
+	// priority class. nil classifies everything as PriorityUser. Only
+	// consulted when Admission is set.
+	Classify func(req any) Priority
+	// HandlerDeadline, when set, is invoked instead of the plain
+	// handler and receives the request's propagated deadline (zero
+	// when the frame carried no budget), so protocol handlers can
+	// abort expensive work whose client already gave up.
+	HandlerDeadline func(req any, deadline time.Time) (any, error)
 }
 
 // DefaultMaxConcurrent is the handler concurrency bound when
@@ -149,6 +163,7 @@ func ServeListener(lis net.Listener, h Handler, opts Options) *Server {
 		lis:     lis,
 		handler: h,
 		opts:    opts,
+		//lint:ignore boundedqueue capacity is Options.MaxConcurrent (default DefaultMaxConcurrent), a fixed concurrency bound, not request-scaled
 		sem:     make(chan struct{}, max),
 		conns:   make(map[net.Conn]struct{}),
 		drained: make(chan struct{}),
@@ -161,6 +176,15 @@ func ServeListener(lis net.Listener, h Handler, opts Options) *Server {
 
 // Sessions returns the server's session table (nil if not configured).
 func (s *Server) Sessions() *SessionTable { return s.opts.Sessions }
+
+// AdmissionStats snapshots the admission controller, or returns zero
+// stats when admission control is not configured.
+func (s *Server) AdmissionStats() AdmissionStats {
+	if s.opts.Admission == nil {
+		return AdmissionStats{}
+	}
+	return s.opts.Admission.Stats()
+}
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.lis.Addr().String() }
@@ -203,11 +227,14 @@ func (s *Server) acceptLoop() {
 		go func() {
 			defer s.wg.Done()
 			defer s.untrack(conn)
-			serve := wire.Serve
+			rw := s.withDeadlines(conn)
 			if s.opts.CompatCodec {
-				serve = wire.ServeLegacy
+				// The seed codec has no budget header; requests arrive
+				// deadline-free, exactly as before.
+				_ = wire.ServeLegacy(rw, s.dispatch)
+				return
 			}
-			_ = serve(s.withDeadlines(conn), s.dispatch)
+			_ = wire.ServeBudget(rw, s.dispatchBudget)
 		}()
 	}
 }
@@ -259,28 +286,80 @@ func (d *deadlineConn) Write(p []byte) (int, error) {
 // graceful shutdown's drain window new requests are refused while
 // in-flight ones complete.
 func (s *Server) dispatch(req any) (any, error) {
+	return s.dispatchBudget(req, 0)
+}
+
+// dispatchBudget is dispatch with the request's propagated deadline
+// budget (0 = none), anchored at decode time. Ordering is the whole
+// point here: the session cache is consulted *before* admission (a
+// retry of an already-applied op must replay its cached response, not
+// risk a shed that would falsely report "refused" for applied work),
+// and admission runs *before* the handler (a shed op never touches
+// protocol state). Typed refusals are never cached (see
+// SessionTable.Dispatch), so the combination keeps refusals atomic.
+func (s *Server) dispatchBudget(req any, budget time.Duration) (any, error) {
 	if err := s.beginReq(); err != nil {
 		return nil, err
 	}
 	defer s.endReq()
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	if s.opts.Admission == nil {
+		// Legacy concurrency governor. With Admission configured the
+		// priority queue takes over — parking excess load in the
+		// semaphore instead would admit in arrival order and blind the
+		// shed policy to priorities.
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+	}
+	inner := func(r any) (any, error) { return s.admitAndHandle(r, deadline) }
 	if sr, ok := req.(*wire.SessionRequest); ok && s.opts.Sessions != nil {
-		return s.opts.Sessions.Dispatch(sr, s.handleOne)
+		return s.opts.Sessions.Dispatch(sr, inner)
 	}
 	if sr, ok := req.(*wire.SessionRequest); ok {
 		// No table: honor the envelope without dedupe so a resilient
 		// client still works against a plain server (retries then rely
 		// on the protocol's own detection, as documented in DESIGN.md).
-		return s.handleOne(sr.Req)
+		return inner(sr.Req)
 	}
-	return s.handleOne(req)
+	return inner(req)
 }
 
-func (s *Server) handleOne(req any) (any, error) {
+// admitAndHandle sheds expired or excess requests with typed errors
+// before any protocol state is touched, then runs the handler.
+func (s *Server) admitAndHandle(req any, deadline time.Time) (any, error) {
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		return nil, fmt.Errorf("transport: deadline expired before dispatch%w", admErr{wire.ErrDeadlineExceeded})
+	}
+	if adm := s.opts.Admission; adm != nil {
+		class := PriorityUser
+		if s.opts.Classify != nil {
+			class = s.opts.Classify(req)
+		}
+		if err := adm.Acquire(class, deadline); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		defer func() { adm.Release(time.Since(start)) }()
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			// The wait in the admission queue consumed the budget:
+			// the client is gone, so don't burn the slot on work
+			// nobody will read.
+			return nil, fmt.Errorf("transport: deadline expired in admission queue%w", admErr{wire.ErrDeadlineExceeded})
+		}
+	}
+	return s.handleOne(req, deadline)
+}
+
+func (s *Server) handleOne(req any, deadline time.Time) (any, error) {
 	if s.opts.Serial {
 		s.serialMu.Lock()
 		defer s.serialMu.Unlock()
+	}
+	if s.opts.HandlerDeadline != nil {
+		return s.opts.HandlerDeadline(req, deadline)
 	}
 	return s.handler(req)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"trustedcvs/internal/digest"
 	"trustedcvs/internal/server"
@@ -17,24 +18,56 @@ const DefaultCommitEvery = 8
 // Publisher is the primary server's side of witness replication: it
 // chains and signs commitments over the database head and fans each
 // one out to every registered witness. The signing section is a
-// mutex-ordered few microseconds; the network fan-out runs on a
-// goroutine per commitment so the operation hot path never waits on a
-// witness.
+// mutex-ordered few microseconds; the network fan-out is rate-limited
+// per witness: one delivery worker per witness with a one-slot
+// latest-wins mailbox, so however fast commitments arrive, a witness
+// sees at most one in-flight delivery plus one queued — never a
+// goroutine pile-up (the unbounded goroutine-per-commitment fan-out
+// was the E20 scaling blocker). Skipped intermediates are safe by the
+// same argument as a witness being down: it misses those commitments
+// and catches up by gossip; only the freshest root matters for the
+// quorum check.
 type Publisher struct {
 	id      *Identity
 	every   uint64
 	aligned bool
 
-	mu        sync.Mutex
-	seq       uint64
-	prev      digest.Digest
-	nextAt    uint64 // commit when ctr reaches this
-	witnesses map[string]DialFunc
+	mu     sync.Mutex
+	seq    uint64
+	prev   digest.Digest
+	nextAt uint64 // commit when ctr reaches this
+	lanes  map[string]*witnessLane
 
 	wg sync.WaitGroup
 
-	errMu   sync.Mutex
-	lastErr error
+	errMu     sync.Mutex
+	lastErr   error
+	delivered uint64
+	coalesced uint64
+	tripped   uint64
+}
+
+// Lane breaker tuning: after laneBreakAfter consecutive delivery
+// failures a witness lane stops dialing for laneBreakCooldown — a dead
+// witness costs one timed-out dial per cooldown instead of one per
+// commitment. Commitments skipped while open are ordinary coalesced
+// misses: gossip catch-up covers them.
+const (
+	laneBreakAfter    = 5
+	laneBreakCooldown = 2 * time.Second
+)
+
+// witnessLane is one witness's delivery worker state: a single-slot
+// latest-wins mailbox plus a delivery breaker.
+type witnessLane struct {
+	name string
+	dial DialFunc
+
+	mu      sync.Mutex
+	pending *SubmitRequest // latest-wins; overwritten, never queued deeper
+	busy    bool           // a drain worker is running
+	fails   int            // consecutive delivery failures
+	openTil time.Time      // breaker-open horizon; zero = closed
 }
 
 // NewPublisher creates a publisher for the given identity. every is
@@ -44,10 +77,10 @@ func NewPublisher(id *Identity, every uint64) *Publisher {
 		every = DefaultCommitEvery
 	}
 	return &Publisher{
-		id:        id,
-		every:     every,
-		nextAt:    every,
-		witnesses: make(map[string]DialFunc),
+		id:     id,
+		every:  every,
+		nextAt: every,
+		lanes:  make(map[string]*witnessLane),
 	}
 }
 
@@ -72,7 +105,7 @@ func (p *Publisher) Align() {
 func (p *Publisher) AddWitness(name string, dial DialFunc) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.witnesses[name] = dial
+	p.lanes[name] = &witnessLane{name: name, dial: dial}
 }
 
 // OpApplied is the server-side hook: call it with the database head
@@ -115,24 +148,80 @@ func (p *Publisher) commitLocked(ctr uint64, root digest.Digest) *SubmitRequest 
 	return &SubmitRequest{Commit: c, Pub: append([]byte(nil), p.id.Public()...)}
 }
 
-// fanOut delivers one commitment to every witness, best-effort, off
-// the caller's goroutine. A witness that is down misses this
-// commitment and catches up by gossip.
+// fanOut offers one commitment to every witness lane, best-effort,
+// off the caller's goroutine. A busy lane coalesces: the new
+// commitment replaces whatever was waiting (latest wins), so a slow
+// witness receives the freshest root instead of a backlog. A witness
+// that misses commitments catches up by gossip.
 func (p *Publisher) fanOut(req *SubmitRequest) {
 	p.mu.Lock()
-	targets := make(map[string]DialFunc, len(p.witnesses))
-	for name, dial := range p.witnesses {
-		targets[name] = dial
+	lanes := make([]*witnessLane, 0, len(p.lanes))
+	for _, l := range p.lanes {
+		lanes = append(lanes, l)
 	}
 	p.mu.Unlock()
-	for name, dial := range targets {
-		p.wg.Add(1)
-		go func(name string, dial DialFunc) {
-			defer p.wg.Done()
-			if err := deliver(dial, req); err != nil {
-				p.noteErr(fmt.Errorf("publish to %s: %w", name, err))
+	for _, l := range lanes {
+		p.offer(l, req)
+	}
+}
+
+// offer hands req to lane l: starts a drain worker if the lane is
+// idle, otherwise drops it in the one-slot mailbox (displacing — and
+// counting — any commitment already waiting there).
+func (p *Publisher) offer(l *witnessLane, req *SubmitRequest) {
+	l.mu.Lock()
+	if l.busy {
+		if l.pending != nil {
+			p.noteCoalesced()
+		}
+		l.pending = req
+		l.mu.Unlock()
+		return
+	}
+	l.busy = true
+	l.mu.Unlock()
+	p.wg.Add(1)
+	go p.drain(l, req)
+}
+
+// drain is a lane's delivery worker: deliver req, then whatever
+// accumulated in the mailbox meanwhile, until the mailbox is empty.
+// At most one drain per lane runs at a time.
+func (p *Publisher) drain(l *witnessLane, req *SubmitRequest) {
+	defer p.wg.Done()
+	for {
+		l.mu.Lock()
+		open := !l.openTil.IsZero() && time.Now().Before(l.openTil)
+		l.mu.Unlock()
+		if open {
+			// Lane breaker open: skip the dial entirely; the witness
+			// catches up by gossip when it returns.
+			p.noteCoalesced()
+		} else if err := deliver(l.dial, req); err != nil {
+			p.noteErr(fmt.Errorf("publish to %s: %w", l.name, err))
+			l.mu.Lock()
+			l.fails++
+			if l.fails >= laneBreakAfter {
+				l.openTil = time.Now().Add(laneBreakCooldown)
+				l.fails = 0
+				p.noteTripped()
 			}
-		}(name, dial)
+			l.mu.Unlock()
+		} else {
+			l.mu.Lock()
+			l.fails = 0
+			l.openTil = time.Time{}
+			l.mu.Unlock()
+			p.noteDelivered()
+		}
+		l.mu.Lock()
+		req, l.pending = l.pending, nil
+		if req == nil {
+			l.busy = false
+			l.mu.Unlock()
+			return
+		}
+		l.mu.Unlock()
 	}
 }
 
@@ -150,6 +239,57 @@ func (p *Publisher) noteErr(err error) {
 	p.errMu.Lock()
 	p.lastErr = err
 	p.errMu.Unlock()
+}
+
+func (p *Publisher) noteDelivered() {
+	p.errMu.Lock()
+	p.delivered++
+	p.errMu.Unlock()
+}
+
+func (p *Publisher) noteCoalesced() {
+	p.errMu.Lock()
+	p.coalesced++
+	p.errMu.Unlock()
+}
+
+func (p *Publisher) noteTripped() {
+	p.errMu.Lock()
+	p.tripped++
+	p.errMu.Unlock()
+}
+
+// FanoutStats reports the rate-limited fan-out's counters: delivered
+// commitments, skipped ones (displaced by a fresher commitment in a
+// busy lane, or suppressed while a lane breaker was open), and how
+// many times a lane breaker tripped.
+func (p *Publisher) FanoutStats() (delivered, skipped, tripped uint64) {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.delivered, p.coalesced, p.tripped
+}
+
+// LaneStates snapshots each witness lane's delivery-breaker state
+// ("ok" or "open"), for the -stats-addr debug endpoint.
+func (p *Publisher) LaneStates() map[string]string {
+	p.mu.Lock()
+	lanes := make([]*witnessLane, 0, len(p.lanes))
+	for _, l := range p.lanes {
+		lanes = append(lanes, l)
+	}
+	p.mu.Unlock()
+	m := make(map[string]string, len(lanes))
+	now := time.Now()
+	for _, l := range lanes {
+		l.mu.Lock()
+		st := "ok"
+		if !l.openTil.IsZero() && now.Before(l.openTil) {
+			st = "open"
+		}
+		l.mu.Unlock()
+		m[l.name] = st
+	}
+	return m
 }
 
 // LastErr returns the most recent delivery failure (nil when all
@@ -188,9 +328,9 @@ func (p *Publisher) ShipSnapshot(snap *server.P2Snapshot) error {
 	put := &SnapshotPut{Server: p.id.Name(), Ctr: ctr, Root: root, Data: buf.Bytes()}
 
 	p.mu.Lock()
-	targets := make(map[string]DialFunc, len(p.witnesses))
-	for name, dial := range p.witnesses {
-		targets[name] = dial
+	targets := make(map[string]DialFunc, len(p.lanes))
+	for name, l := range p.lanes {
+		targets[name] = l.dial
 	}
 	p.mu.Unlock()
 	if len(targets) == 0 {

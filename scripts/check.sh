@@ -38,8 +38,12 @@ go test -race ./...
 # one epoch (E17) — and the crash-durability matrix: obligations
 # journaled before release, replayed through the verifier on reboot,
 # tamper-before-crash convicted, journal I/O failure degrading to
-# sync (E18).
-go test -race -run 'Fault|Resilient|Resume|Recovery|Witness|E14|E15|Forest|Torn|E16|Audit|Epoch|E17|WAL|E18' ./internal/fault ./internal/transport ./internal/broadcast ./internal/server ./internal/witness ./internal/bench ./internal/core/proto2 ./internal/audit ./internal/driver ./internal/wal .
+# sync (E18) — and the overload layer: priority shedding with typed
+# refusals before any state is touched, breaker probe storms bounded
+# under 64-client concurrency, sheds never journaled and never audit
+# obligations, degrade-to-sync sticky under concurrent shedding, and
+# the E21 sweep's CI-scale run (E21).
+go test -race -run 'Fault|Resilient|Resume|Recovery|Witness|E14|E15|Forest|Torn|E16|Audit|Epoch|E17|WAL|E18|Overload|Shed|Breaker|E21' ./internal/fault ./internal/transport ./internal/broadcast ./internal/server ./internal/witness ./internal/bench ./internal/core/proto2 ./internal/audit ./internal/driver ./internal/wal .
 
 go test -run='^$' -fuzz='^FuzzFrameDecode$' -fuzztime=10s ./internal/wire
 go test -run='^$' -fuzz='^FuzzVOVerify$' -fuzztime=10s ./internal/merkle
